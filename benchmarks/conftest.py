@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one paper table/figure (see DESIGN.md's
+per-experiment index), prints it, saves it under ``benchmarks/results/``,
+and asserts the paper's *qualitative* shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only            # CI scale
+    REPRO_SCALE=paper pytest benchmarks/ --benchmark-only   # paper scale
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Persist a rendered table and echo it to the terminal."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    Table experiments are long-running sweeps; statistical repetition
+    happens *inside* them (seeds, starts), so one timed round suffices.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

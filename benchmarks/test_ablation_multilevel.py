@@ -1,0 +1,64 @@
+"""Ablation: one compaction level (the paper) vs recursive coalescing.
+
+The paper applies a single contraction; the natural extension coalesces
+recursively (DESIGN.md S14).  This bench measures what the extra levels
+buy on the families where one level already helps (sparse Gbreg) and
+where it does not fully close the gap (ladders, where plain KL's locality
+is the bottleneck).
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from conftest import run_once
+
+from repro.bench import current_scale, render_generic_table
+from repro.core.multilevel import multilevel_bisection
+from repro.core.pipeline import ckl
+from repro.graphs.generators import gbreg, ladder_graph
+from repro.partition.kl import kernighan_lin
+from repro.rng import LaggedFibonacciRandom, spawn
+
+
+def test_ablation_multilevel(benchmark, save_table):
+    scale = current_scale()
+    two_n = scale.random_graph_sizes[0]
+    workloads = {
+        f"Gbreg({two_n},8,3)": gbreg(two_n, 8, 3, rng=180).graph,
+        f"ladder({two_n})": ladder_graph(two_n // 2),
+    }
+
+    def experiment():
+        root = LaggedFibonacciRandom(181)
+        results = {}
+        for i, (label, graph) in enumerate(workloads.items()):
+            rng = spawn(root, i)
+            plain = min(kernighan_lin(graph, rng=spawn(rng, s)).cut for s in range(2))
+            single = min(ckl(graph, rng=spawn(rng, 10 + s)).cut for s in range(2))
+            multi_results = [
+                multilevel_bisection(graph, rng=spawn(rng, 20 + s)) for s in range(2)
+            ]
+            multi = min(r.cut for r in multi_results)
+            results[label] = (plain, single, multi, multi_results[0].levels)
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    save_table(
+        "ablation_multilevel",
+        render_generic_table(
+            ["graph", "plain KL", "1-level CKL", "multilevel", "levels"],
+            [[label, *map(str, vals)] for label, vals in results.items()],
+            title=f"Recursive coalescing ablation @ {scale.name}",
+        ),
+    )
+
+    for label, (plain, single, multi, levels) in results.items():
+        assert multi <= plain, label
+        # Recursive coalescing is at least as good as one level (within noise).
+        assert multi <= single + 4, label
+        assert levels >= 2, label
+    # Ladders: multilevel should essentially solve them (optimum 2).
+    ladder_label = [k for k in results if k.startswith("ladder")][0]
+    assert results[ladder_label][2] <= 6

@@ -1,0 +1,71 @@
+"""Ablation: how much does step 5 (fine-level refinement) matter?
+
+Compares, on sparse Gbreg graphs:
+
+* plain KL (no compaction at all);
+* coarse-only (steps 1-4, [GB83]-style: bisect the contracted graph and
+  project, pairs never split);
+* the paper's full five-step CKL.
+
+Expected shape: coarse-only already captures most of the improvement
+(the contracted graph is where the global structure is found), and the
+refinement step closes the remaining gap to the planted width — the
+paper's design is the right one.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from conftest import run_once
+
+from repro.bench import current_scale, render_generic_table
+from repro.core.pipeline import ckl, coarse_only_bisection
+from repro.graphs.generators import gbreg
+from repro.partition.kl import kernighan_lin
+from repro.rng import LaggedFibonacciRandom, spawn
+
+
+def test_ablation_refinement(benchmark, save_table):
+    scale = current_scale()
+    two_n = scale.random_graph_sizes[0]
+    b = 8 if (two_n // 2 * 3 - 8) % 2 == 0 else 9
+    samples = [gbreg(two_n, b, 3, rng=230 + s) for s in range(3)]
+
+    def experiment():
+        root = LaggedFibonacciRandom(231)
+        outcomes = {"plain KL": [], "coarse-only (GB83)": [], "full CKL": []}
+        for i, sample in enumerate(samples):
+            rng = spawn(root, i)
+            outcomes["plain KL"].append(
+                kernighan_lin(sample.graph, rng=spawn(rng, 0)).cut
+            )
+            outcomes["coarse-only (GB83)"].append(
+                coarse_only_bisection(sample.graph, kernighan_lin, rng=spawn(rng, 1)).cut
+            )
+            outcomes["full CKL"].append(ckl(sample.graph, rng=spawn(rng, 2)).cut)
+        return outcomes
+
+    outcomes = run_once(benchmark, experiment)
+
+    save_table(
+        "ablation_refinement",
+        render_generic_table(
+            ["pipeline", "mean cut", "cuts"],
+            [
+                [name, f"{mean(cuts):.1f}", str(cuts)]
+                for name, cuts in outcomes.items()
+            ],
+            title=(
+                f"Refinement-step ablation on Gbreg({two_n},{b},3) @ {scale.name} "
+                f"(planted width {b})"
+            ),
+        ),
+    )
+
+    plain = mean(outcomes["plain KL"])
+    coarse = mean(outcomes["coarse-only (GB83)"])
+    full = mean(outcomes["full CKL"])
+    # The coarse phase does most of the work; refinement never hurts.
+    assert coarse < plain
+    assert full <= coarse

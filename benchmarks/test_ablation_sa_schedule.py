@@ -1,0 +1,76 @@
+"""Ablation: SA schedule sensitivity ("fine tuning ... can be a big job").
+
+Paper Section VII: "One may have to spend a great deal of computation
+time to find the correct setting of the parameters for a particular class
+of problems."  This bench sweeps the two dominant schedule knobs —
+cooling ratio and temperature length — and reports the quality/time
+tradeoff, reproducing the qualitative statement: fast schedules terminate
+quickly "usually at a far from optimal solution", slow schedules pay a
+lot of time for diminishing returns.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from conftest import run_once
+
+from repro.bench import current_scale, render_generic_table
+from repro.graphs.generators import gbreg
+from repro.partition.annealing import AnnealingSchedule, simulated_annealing
+from repro.rng import LaggedFibonacciRandom, spawn
+
+import time
+
+SCHEDULES = {
+    "quenched (r=0.5, L=1n)": AnnealingSchedule(cooling_ratio=0.5, size_factor=1),
+    "fast (r=0.8, L=2n)": AnnealingSchedule(cooling_ratio=0.8, size_factor=2),
+    "default (r=0.95, L=8n)": AnnealingSchedule(cooling_ratio=0.95, size_factor=8),
+    "default + cutoff 25%": AnnealingSchedule(
+        cooling_ratio=0.95, size_factor=8, cutoff_factor=0.25
+    ),
+    "slow (r=0.98, L=16n)": AnnealingSchedule(cooling_ratio=0.98, size_factor=16),
+}
+
+
+def test_ablation_sa_schedule(benchmark, save_table):
+    scale = current_scale()
+    two_n = min(scale.random_graph_sizes[0], 500)
+    samples = [gbreg(two_n, 8, 3, rng=190 + s) for s in range(2)]
+
+    def experiment():
+        root = LaggedFibonacciRandom(191)
+        outcomes = {}
+        for i, (name, schedule) in enumerate(SCHEDULES.items()):
+            cuts, times = [], []
+            for j, sample in enumerate(samples):
+                began = time.perf_counter()
+                result = simulated_annealing(
+                    sample.graph, rng=spawn(root, 10 * i + j), schedule=schedule
+                )
+                times.append(time.perf_counter() - began)
+                cuts.append(result.cut)
+            outcomes[name] = (mean(cuts), mean(times))
+        return outcomes
+
+    outcomes = run_once(benchmark, experiment)
+
+    save_table(
+        "ablation_sa_schedule",
+        render_generic_table(
+            ["schedule", "mean cut", "mean time (s)"],
+            [[n, f"{c:.1f}", f"{t:.3f}"] for n, (c, t) in outcomes.items()],
+            title=f"SA schedule ablation on Gbreg({two_n},8,3) @ {scale.name}",
+        ),
+    )
+
+    quenched_cut, quenched_time = outcomes["quenched (r=0.5, L=1n)"]
+    slow_cut, slow_time = outcomes["slow (r=0.98, L=16n)"]
+    # Slow schedules buy quality with time; quenching is fast but poor.
+    assert slow_time > quenched_time
+    assert slow_cut <= quenched_cut
+    # Johnson's cutoff saves time at the hot end without wrecking quality.
+    default_cut, default_time = outcomes["default (r=0.95, L=8n)"]
+    cutoff_cut, cutoff_time = outcomes["default + cutoff 25%"]
+    assert cutoff_time <= default_time
+    assert cutoff_cut <= 3 * max(default_cut, 8)

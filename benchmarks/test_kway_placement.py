@@ -1,0 +1,71 @@
+"""Extension bench: k-way recursive bisection (the placement workload).
+
+Sweeps k on a grid (known optimal straight-cut structure) and on sparse
+Gbreg graphs, comparing KL-driven and FM-driven recursive bisection.
+Shape: cut grows smoothly with k, parts stay within one vertex of even,
+and on grids the k-way cut stays within a small factor of the straight
+cuts.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import current_scale, render_generic_table
+from repro.graphs.generators import gbreg, grid_graph
+from repro.partition.fm import fiduccia_mattheyses
+from repro.partition.kway import recursive_kway
+from repro.rng import LaggedFibonacciRandom, spawn
+
+
+def test_kway_recursive_bisection(benchmark, save_table):
+    scale = current_scale()
+    side = 16
+    grid = grid_graph(side, side)
+    sparse = gbreg(min(scale.random_graph_sizes[0], 512), 8, 3, rng=210).graph
+
+    def experiment():
+        root = LaggedFibonacciRandom(211)
+        rows = []
+        for i, (label, graph) in enumerate((("grid 16x16", grid), ("gbreg d3", sparse))):
+            for j, k in enumerate((2, 3, 4, 8)):
+                rng = spawn(root, 10 * i + j)
+                kl_part = recursive_kway(graph, k, rng=rng)
+                fm_part = recursive_kway(
+                    graph, k, rng=spawn(rng, 1), bisector=fiduccia_mattheyses
+                )
+                rows.append(
+                    (
+                        label,
+                        k,
+                        kl_part.cut,
+                        fm_part.cut,
+                        round(kl_part.max_imbalance_ratio(), 3),
+                    )
+                )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    save_table(
+        "kway_placement",
+        render_generic_table(
+            ["graph", "k", "KL-driven cut", "FM-driven cut", "imbalance ratio"],
+            [list(r) for r in rows],
+            title=f"k-way recursive bisection @ {scale.name}",
+        ),
+    )
+
+    by_graph: dict = {}
+    for label, k, kl_cut, fm_cut, ratio in rows:
+        by_graph.setdefault(label, []).append((k, kl_cut, ratio))
+        assert ratio <= 1.2, (label, k, ratio)
+    for label, entries in by_graph.items():
+        entries.sort()
+        cuts = [c for _, c, _ in entries]
+        # More parts can only add boundary: cut at k=8 >= cut at k=2.
+        assert cuts[-1] >= cuts[0], (label, cuts)
+    # Grid k-way cut stays within a small factor of straight cuts
+    # (k=4 optimum is 2*side, k=8 is at most 2*side + 4*half-side).
+    grid_cuts = {k: c for k, c, _ in by_graph["grid 16x16"]}
+    assert grid_cuts[4] <= 4 * 2 * side

@@ -1,0 +1,83 @@
+"""Netlist partitioning: the paper's heuristics on real VLSI objects.
+
+Circuits are hypergraphs (multi-pin nets), not graphs.  This example
+builds a synthetic clustered netlist and bisects it four ways:
+
+* the 1989 route — expand nets into cliques, bisect the graph with KL,
+  and with compacted KL (the paper's contribution);
+* the native route — hypergraph Fiduccia-Mattheyses on the netlist
+  itself, plain and with compaction ported to hypergraphs.
+
+Everything is scored on the true objective: the number of *nets* crossing
+the partition.  The example ends with the multilevel V-cycle on the
+netlist — the hMETIS recipe this paper's compaction idea grew into.
+
+Run:  python examples/netlist_partitioning.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import ckl, kernighan_lin
+from repro.hypergraph import (
+    HypergraphBisection,
+    clique_expansion,
+    compacted_hypergraph_fm,
+    hypergraph_fm,
+    multilevel_hypergraph_fm,
+    random_netlist,
+)
+
+
+def main() -> None:
+    netlist = random_netlist(
+        cells=600, clusters=12, global_fraction=0.06, rng=41
+    )
+    print("=== netlist bisection, graph abstraction vs native ===\n")
+    print(f"netlist: {netlist}  (avg net size {netlist.average_net_size():.2f})\n")
+
+    expanded = clique_expansion(netlist)
+    print(f"clique expansion: {expanded}\n")
+
+    def score_graph_route(name, bisector):
+        began = time.perf_counter()
+        result = bisector(expanded, rng=1)
+        elapsed = time.perf_counter() - began
+        net_cut = HypergraphBisection(netlist, result.bisection.assignment()).cut
+        edge_cut = result.bisection.cut
+        print(f"{name:<28} net cut {net_cut:>4}   (edge cut {edge_cut}, {elapsed:.2f}s)")
+
+    def score_native(name, runner):
+        began = time.perf_counter()
+        result = runner(netlist, rng=1)
+        elapsed = time.perf_counter() - began
+        print(f"{name:<28} net cut {result.cut:>4}   ({elapsed:.2f}s)")
+
+    score_graph_route("clique + KL", kernighan_lin)
+    score_graph_route("clique + CKL (paper)", ckl)
+    score_native("hypergraph FM", hypergraph_fm)
+    score_native("compacted hypergraph FM", compacted_hypergraph_fm)
+    print(
+        f"\nNote: the clique expansion has average degree "
+        f"{expanded.average_degree():.1f} — well above the paper's 'use\n"
+        "compaction at average degree four or less' boundary, so CKL's edge\n"
+        "over KL is not expected on the expansion; compaction applied to the\n"
+        "sparse netlist itself (avg net size ~3) is where it pays."
+    )
+
+    print("\n=== multilevel netlist bisection (the hMETIS lineage) ===")
+    result = multilevel_hypergraph_fm(netlist, rng=1)
+    print(f"{'cells':>8} {'net cut after refinement':>25}")
+    for size, cut in zip(result.level_sizes, result.level_cuts):
+        print(f"{size:>8} {cut:>25}")
+    print(f"\nfinal multilevel net cut: {result.cut}")
+    print(
+        "\nNote the pattern: the coarse levels discover the cluster structure\n"
+        "cheaply, refinement polishes it — exactly the paper's compaction\n"
+        "story (Section V), recursively applied."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: bisect a sparse random-regular graph four ways.
+
+Generates a ``Gbreg(1000, 16, 3)`` graph — 3-regular, 1000 vertices, a
+planted bisection of width 16 — and runs the paper's four procedures on
+it: Kernighan-Lin (KL), simulated annealing (SA), and their compacted
+variants (CKL, CSA).  This is the paper's headline experiment in
+miniature: on degree-3 graphs the plain algorithms miss the planted
+bisection by a wide margin and compaction recovers it.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    AnnealingSchedule,
+    ckl,
+    csa,
+    gbreg,
+    kernighan_lin,
+    ladder_graph,
+    simulated_annealing,
+)
+
+
+def main() -> None:
+    print("=== repro quickstart ===\n")
+
+    # -- generate a graph with a known planted bisection ------------------------
+    sample = gbreg(1000, b=16, d=3, rng=7)
+    graph = sample.graph
+    print(f"graph: {graph}  planted bisection width: {sample.planted_width}\n")
+
+    # -- run all four procedures ------------------------------------------------
+    schedule = AnnealingSchedule(size_factor=4)  # modest SA budget
+    procedures = {
+        "KL  (Kernighan-Lin)": lambda: kernighan_lin(graph, rng=1),
+        "CKL (compacted KL)": lambda: ckl(graph, rng=1),
+        "SA  (simulated annealing)": lambda: simulated_annealing(
+            graph, rng=1, schedule=schedule
+        ),
+        "CSA (compacted SA)": lambda: csa(graph, rng=1, schedule=schedule),
+    }
+    print(f"{'procedure':<28} {'cut':>6} {'time (s)':>10}   notes")
+    for name, run in procedures.items():
+        began = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - began
+        found = "  << found the planted bisection" if result.cut <= 16 else ""
+        print(f"{name:<28} {result.cut:>6} {elapsed:>10.3f}{found}")
+
+    # -- the ladder graph (paper Fig. 3): KL's classic failure family -----------
+    rungs = 8
+    ladder = ladder_graph(rungs)
+    print(f"\nladder graph with {rungs} rungs (paper Fig. 3), optimum cut = 2:")
+    print("  " + "o---" * (rungs - 1) + "o")
+    print("  " + "|   " * (rungs - 1) + "|")
+    print("  " + "o---" * (rungs - 1) + "o")
+    plain = kernighan_lin(ladder, rng=3)
+    compacted = ckl(ladder, rng=3)
+    print(f"  plain KL cut: {plain.cut}    compacted KL cut: {compacted.cut}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Exists only so ``pip install -e . --no-use-pep517`` works in offline
+environments that lack the ``wheel`` package (PEP 517 editable installs
+build a wheel; the legacy ``setup.py develop`` path does not).  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

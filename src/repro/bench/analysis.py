@@ -1,0 +1,150 @@
+"""Statistical analysis of experiment outcomes.
+
+Section VI makes two statistical claims beyond the tables:
+
+* *win rates*: "On graphs of average degree of 2.5 to 3.5, when a
+  noticeable difference was observed in the quality of the bisection
+  returned, the Kernighan-Lin procedure had the better bisection sixty
+  percent of the time."  → :func:`paired_comparison` with a
+  noticeable-difference threshold.
+* *consistency*: "In the quality of the solution returned, the
+  Kernighan-Lin procedure was more consistent than simulated annealing.
+  ... Simulated annealing occasionally showed large differences in the
+  results of the two trials."  → :func:`trial_spread` /
+  :func:`consistency_summary` over the per-start cuts the runner records.
+
+These feed ``benchmarks/test_consistency.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from .runner import BestOfStarts, RowResult
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "PairedComparison",
+    "paired_comparison",
+    "trial_spread",
+    "consistency_summary",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Population summary statistics of ``values``."""
+    if not values:
+        raise ValueError("need at least one value")
+    ordered = sorted(values)
+    n = len(ordered)
+    mean = sum(ordered) / n
+    var = sum((v - mean) ** 2 for v in ordered) / n
+    mid = n // 2
+    median = ordered[mid] if n % 2 else (ordered[mid - 1] + ordered[mid]) / 2
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=float(ordered[0]),
+        median=float(median),
+        maximum=float(ordered[-1]),
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Head-to-head record of two algorithms over a row set.
+
+    ``wins_a`` counts rows where ``a``'s cut beat ``b``'s by at least the
+    noticeable-difference threshold; likewise ``wins_b``; everything else
+    is a tie.  ``win_rate_a`` is a-wins over decided rows (NaN-free: None
+    when nothing was decided).
+    """
+
+    algorithm_a: str
+    algorithm_b: str
+    wins_a: int
+    wins_b: int
+    ties: int
+    mean_cut_a: float
+    mean_cut_b: float
+
+    @property
+    def decided(self) -> int:
+        return self.wins_a + self.wins_b
+
+    @property
+    def win_rate_a(self) -> float | None:
+        if not self.decided:
+            return None
+        return self.wins_a / self.decided
+
+
+def paired_comparison(
+    rows: Sequence[RowResult],
+    algorithm_a: str,
+    algorithm_b: str,
+    noticeable: int = 1,
+) -> PairedComparison:
+    """Compare two algorithms row by row (the paper's win-rate protocol).
+
+    ``noticeable`` is the minimum cut difference that counts as a decision
+    — the paper only scores rows "when a noticeable difference was
+    observed".
+    """
+    if noticeable < 1:
+        raise ValueError("noticeable difference must be at least 1")
+    wins_a = wins_b = ties = 0
+    cuts_a: list[float] = []
+    cuts_b: list[float] = []
+    for row in rows:
+        a = row.cut(algorithm_a)
+        b = row.cut(algorithm_b)
+        cuts_a.append(a)
+        cuts_b.append(b)
+        if a + noticeable <= b:
+            wins_a += 1
+        elif b + noticeable <= a:
+            wins_b += 1
+        else:
+            ties += 1
+    if not rows:
+        raise ValueError("need at least one row")
+    return PairedComparison(
+        algorithm_a=algorithm_a,
+        algorithm_b=algorithm_b,
+        wins_a=wins_a,
+        wins_b=wins_b,
+        ties=ties,
+        mean_cut_a=sum(cuts_a) / len(cuts_a),
+        mean_cut_b=sum(cuts_b) / len(cuts_b),
+    )
+
+
+def trial_spread(outcome: BestOfStarts) -> int:
+    """Cut spread across the starts of one cell (max - min).
+
+    The paper's consistency observation is about exactly this quantity:
+    SA's two trials "occasionally showed large differences".
+    """
+    return max(outcome.start_cuts) - min(outcome.start_cuts)
+
+
+def consistency_summary(rows: Sequence[RowResult], algorithm: str) -> Summary:
+    """Summary of per-row trial spreads for one algorithm."""
+    return summarize([trial_spread(row.cells[algorithm]) for row in rows])

@@ -1,0 +1,334 @@
+"""Command-line interface: generate graphs, bisect them, print paper tables.
+
+Examples::
+
+    # Generate a Gbreg graph and save it
+    repro-bisect generate gbreg --vertices 1000 --width 16 --degree 3 \
+        --seed 7 --out graph.edges
+
+    # Bisect a saved graph with every algorithm
+    repro-bisect run graph.edges --algorithm ckl --seed 1
+
+    # Regenerate one of the paper's tables at the current REPRO_SCALE
+    repro-bisect table gbreg-d3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench import (
+    current_scale,
+    g2set_cases,
+    gbreg_cases,
+    gnp_cases,
+    grid_cases,
+    btree_cases,
+    ladder_cases,
+    render_paper_table,
+    run_workload,
+    standard_algorithms,
+)
+from .core import ckl, csa, multilevel_bisection
+from .graphs.generators import (
+    binary_tree,
+    g2set,
+    gbreg,
+    gnp,
+    grid_graph,
+    ladder_graph,
+)
+from .graphs.io import read_edge_list, write_edge_list
+from .partition import (
+    bisect_paths_and_cycles,
+    fiduccia_mattheyses,
+    greedy_improvement,
+    kernighan_lin,
+    simulated_annealing,
+)
+
+__all__ = ["main"]
+
+_ALGORITHMS = {
+    "kl": lambda g, rng: kernighan_lin(g, rng=rng),
+    "sa": lambda g, rng: simulated_annealing(g, rng=rng),
+    "ckl": lambda g, rng: ckl(g, rng=rng),
+    "csa": lambda g, rng: csa(g, rng=rng),
+    "fm": lambda g, rng: fiduccia_mattheyses(g, rng=rng),
+    "greedy": lambda g, rng: greedy_improvement(g, rng=rng),
+    "multilevel": lambda g, rng: multilevel_bisection(g, rng=rng),
+    "cycles": lambda g, rng: _CycleResult(bisect_paths_and_cycles(g)),
+}
+
+_TABLES = {
+    "gbreg-d3": lambda scale: gbreg_cases(scale, 3),
+    "gbreg-d4": lambda scale: gbreg_cases(scale, 4),
+    "g2set-2.5": lambda scale: g2set_cases(scale, 2.5),
+    "g2set-3": lambda scale: g2set_cases(scale, 3.0),
+    "g2set-3.5": lambda scale: g2set_cases(scale, 3.5),
+    "g2set-4": lambda scale: g2set_cases(scale, 4.0),
+    "gnp": lambda scale: gnp_cases(scale),
+    "ladder": lambda scale: ladder_cases(scale),
+    "grid": lambda scale: grid_cases(scale),
+    "btree": lambda scale: btree_cases(scale),
+}
+
+
+class _CycleResult:
+    """Adapter giving the exact cycle solver the common ``.cut`` shape."""
+
+    def __init__(self, bisection):
+        self.bisection = bisection
+        self.cut = bisection.cut
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.model == "gbreg":
+        graph = gbreg(args.vertices, args.width, args.degree, args.seed).graph
+    elif args.model == "g2set":
+        graph = g2set(args.vertices, args.p, args.p, args.width, args.seed).graph
+    elif args.model == "gnp":
+        graph = gnp(args.vertices, args.p, args.seed)
+    elif args.model == "ladder":
+        graph = ladder_graph(args.vertices // 2)
+    elif args.model == "grid":
+        side = int(round(args.vertices**0.5))
+        graph = grid_graph(side, side)
+    elif args.model == "btree":
+        graph = binary_tree(args.vertices)
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.model)
+    write_edge_list(graph, args.out)
+    print(f"wrote {graph!r} to {args.out}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    algorithm = _ALGORITHMS[args.algorithm]
+    began = time.perf_counter()
+    result = algorithm(graph, args.seed)
+    elapsed = time.perf_counter() - began
+    bisection = result.bisection
+    print(
+        f"{args.algorithm}: cut={bisection.cut} imbalance={bisection.imbalance} "
+        f"time={elapsed:.3f}s |V|={graph.num_vertices} |E|={graph.num_edges}"
+    )
+    if args.certify:
+        from .partition.bounds import certify
+
+        report = certify(graph, bisection.cut)
+        print(
+            f"lower bound: {report['lower']:.2f}  gap ratio: {report['gap_ratio']:.2f}"
+            + ("  (provably optimal)" if report["optimal"] else "")
+        )
+    if args.save_partition:
+        from .partition.io import write_partition
+
+        write_partition(bisection, args.save_partition)
+        print(f"saved partition to {args.save_partition}")
+    if args.show_sides:
+        print("side 0:", sorted(map(str, bisection.side(0))))
+        print("side 1:", sorted(map(str, bisection.side(1))))
+    return 0
+
+
+def _cmd_kway(args: argparse.Namespace) -> int:
+    from .partition.kway import recursive_kway
+
+    graph = read_edge_list(args.graph)
+    began = time.perf_counter()
+    partition = recursive_kway(graph, args.k, rng=args.seed)
+    elapsed = time.perf_counter() - began
+    weights = partition.part_weights()
+    print(
+        f"k={args.k}: cut={partition.cut} part_weights={weights} "
+        f"imbalance_ratio={partition.max_imbalance_ratio():.3f} time={elapsed:.3f}s"
+    )
+    if args.save_partition:
+        from .partition.io import write_partition
+
+        write_partition(partition, args.save_partition)
+        print(f"saved partition to {args.save_partition}")
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    """Score a saved partition file against its graph."""
+    from .partition.io import read_partition
+
+    graph = read_edge_list(args.graph)
+    partition = read_partition(graph, args.partition)
+    weights = partition.part_weights()
+    print(
+        f"k={partition.k}: cut={partition.cut} part_weights={weights} "
+        f"imbalance_ratio={partition.max_imbalance_ratio():.3f}"
+    )
+    if partition.k == 2 and args.certify:
+        from .partition.bounds import certify
+
+        report = certify(graph, partition.cut)
+        print(
+            f"lower bound: {report['lower']:.2f}  gap ratio: {report['gap_ratio']:.2f}"
+            + ("  (provably optimal)" if report["optimal"] else "")
+        )
+    return 0
+
+
+def _cmd_netlist(args: argparse.Namespace) -> int:
+    from .hypergraph import (
+        compacted_hypergraph_fm,
+        hypergraph_fm,
+        multilevel_hypergraph_fm,
+        random_netlist,
+        read_hmetis,
+        write_hmetis,
+    )
+
+    if args.action == "generate":
+        netlist = random_netlist(args.cells, clusters=args.clusters, rng=args.seed)
+        write_hmetis(netlist, args.file)
+        print(f"wrote {netlist!r} to {args.file}")
+        return 0
+
+    netlist = read_hmetis(args.file)
+    if args.k > 2:
+        from .hypergraph.kway import recursive_kway_hypergraph
+
+        began = time.perf_counter()
+        partition = recursive_kway_hypergraph(netlist, args.k, rng=args.seed)
+        elapsed = time.perf_counter() - began
+        print(
+            f"kway k={args.k}: cut_nets={partition.cut_nets} "
+            f"connectivity-1={partition.connectivity_minus_one} "
+            f"part_weights={partition.part_weights()} time={elapsed:.3f}s"
+        )
+        return 0
+    runners = {
+        "fm": hypergraph_fm,
+        "cfm": compacted_hypergraph_fm,
+        "multilevel": multilevel_hypergraph_fm,
+    }
+    began = time.perf_counter()
+    result = runners[args.algorithm](netlist, rng=args.seed)
+    elapsed = time.perf_counter() - began
+    bisection = result.bisection
+    print(
+        f"{args.algorithm}: net_cut={bisection.cut} imbalance={bisection.imbalance} "
+        f"time={elapsed:.3f}s |V|={netlist.num_vertices} |N|={netlist.num_nets}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .bench.report import generate_report
+
+    scale = current_scale()
+    text = generate_report(scale, rng=args.seed, include_sa=not args.kl_only)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(text + "\n")
+        print(f"wrote report to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    scale = current_scale()
+    cases = _TABLES[args.table](scale)
+    include_sa = not args.kl_only
+    algorithms = standard_algorithms(scale, include_sa=include_sa)
+    rows = run_workload(cases, algorithms, rng=args.seed, starts=scale.starts)
+    pairs = (("sa", "csa"), ("kl", "ckl")) if include_sa else (("kl", "ckl"),)
+    print(
+        render_paper_table(
+            f"table {args.table} @ scale={scale.name}", rows, base_pairs=pairs
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bisect",
+        description="Graph bisection: KL, SA, and the compaction heuristic (DAC 1989).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a graph and write an edge list")
+    gen.add_argument("model", choices=["gbreg", "g2set", "gnp", "ladder", "grid", "btree"])
+    gen.add_argument("--vertices", type=int, required=True, help="number of vertices (2n)")
+    gen.add_argument("--width", type=int, default=8, help="planted bisection width b")
+    gen.add_argument("--degree", type=int, default=3, help="Gbreg regular degree d")
+    gen.add_argument("--p", type=float, default=0.002, help="edge probability")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output edge-list path")
+    gen.set_defaults(func=_cmd_generate)
+
+    run = sub.add_parser("run", help="bisect a saved graph")
+    run.add_argument("graph", help="edge-list path")
+    run.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="ckl")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--show-sides", action="store_true")
+    run.add_argument(
+        "--certify", action="store_true",
+        help="also compute bisection-width lower bounds (Stoer-Wagner, spectral)",
+    )
+    run.add_argument("--save-partition", help="write the resulting partition to this path")
+    run.set_defaults(func=_cmd_run)
+
+    kway = sub.add_parser("kway", help="k-way partition a saved graph")
+    kway.add_argument("graph", help="edge-list path")
+    kway.add_argument("--k", type=int, required=True, help="number of parts")
+    kway.add_argument("--seed", type=int, default=0)
+    kway.add_argument("--save-partition", help="write the resulting partition to this path")
+    kway.set_defaults(func=_cmd_kway)
+
+    score = sub.add_parser("score", help="score a saved partition against its graph")
+    score.add_argument("graph", help="edge-list path")
+    score.add_argument("partition", help="partition file path")
+    score.add_argument("--certify", action="store_true")
+    score.set_defaults(func=_cmd_score)
+
+    netlist = sub.add_parser("netlist", help="generate or bisect hMETIS netlists")
+    netlist.add_argument("action", choices=["generate", "run"])
+    netlist.add_argument("file", help="hMETIS (.hgr) path")
+    netlist.add_argument("--cells", type=int, default=500)
+    netlist.add_argument("--clusters", type=int, default=8)
+    netlist.add_argument(
+        "--algorithm", choices=["fm", "cfm", "multilevel"], default="multilevel"
+    )
+    netlist.add_argument(
+        "--k", type=int, default=2, help="parts for k-way netlist partitioning (run only)"
+    )
+    netlist.add_argument("--seed", type=int, default=0)
+    netlist.set_defaults(func=_cmd_netlist)
+
+    report = sub.add_parser(
+        "report", help="run every paper table at REPRO_SCALE into one markdown report"
+    )
+    report.add_argument("--out", help="output path (default: stdout)")
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--kl-only", action="store_true", help="skip SA/CSA")
+    report.set_defaults(func=_cmd_report)
+
+    table = sub.add_parser("table", help="regenerate a paper table at REPRO_SCALE")
+    table.add_argument("table", choices=sorted(_TABLES))
+    table.add_argument("--seed", type=int, default=0)
+    table.add_argument(
+        "--kl-only", action="store_true", help="skip SA/CSA (much faster)"
+    )
+    table.set_defaults(func=_cmd_table)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The paper's contribution: compaction, CKL/CSA, and recursive coalescing."""
+
+from .compaction import Compaction, compact
+from .matching import (
+    heavy_edge_matching,
+    is_matching,
+    is_maximal_matching,
+    random_maximal_matching,
+)
+from .multilevel import MultilevelResult, multilevel_bisection
+from .pipeline import (
+    CoarseOnlyResult,
+    CompactedResult,
+    ckl,
+    coarse_only_bisection,
+    compacted_bisection,
+    csa,
+)
+
+__all__ = [
+    "random_maximal_matching",
+    "heavy_edge_matching",
+    "is_matching",
+    "is_maximal_matching",
+    "compact",
+    "Compaction",
+    "compacted_bisection",
+    "CompactedResult",
+    "coarse_only_bisection",
+    "CoarseOnlyResult",
+    "ckl",
+    "csa",
+    "multilevel_bisection",
+    "MultilevelResult",
+]

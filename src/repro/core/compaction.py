@@ -1,0 +1,113 @@
+"""Graph compaction: matching contraction and bisection projection.
+
+The paper's compaction steps 2 and 4 (Section V):
+
+    2. Form a new graph G' by contracting the edges in the random matching
+       M.  That is coalesce the two endpoints of an edge in the random
+       matching M to form a new vertex.  All vertices incident to the two
+       original vertices are now incident to the new vertex just formed.
+    ...
+    4. Uncompact the edges to obtain the original graph and create an
+       initial bisection (A, B) from (A', B').
+
+Bookkeeping that the contraction must get right for the projected cut to
+equal the coarse cut:
+
+* parallel edges created by coalescing merge into a single edge whose
+  weight is the *sum* (so the weighted cut of G' equals the cut of G for
+  any partition that keeps matched pairs together);
+* the edge inside a contracted pair disappears (it can never be cut while
+  the pair moves as a unit);
+* a supervertex carries vertex weight = sum of its members' weights, so
+  weighted balance on G' is exactly vertex balance on G.
+
+:class:`Compaction` retains the supervertex membership table so a coarse
+bisection can be projected back with :meth:`Compaction.project`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from ..graphs.graph import Graph
+from ..partition.bisection import Bisection
+from .matching import Matching, is_matching
+
+__all__ = ["Compaction", "compact"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class Compaction:
+    """A contracted graph plus the mapping back to the original.
+
+    ``coarse`` is G'; ``members[s]`` lists the original vertices coalesced
+    into supervertex ``s`` (one or two of them); ``parent[v]`` is the
+    supervertex containing original vertex ``v``.
+    """
+
+    original: Graph
+    coarse: Graph
+    members: dict[Vertex, tuple[Vertex, ...]]
+    parent: dict[Vertex, Vertex]
+
+    @property
+    def compaction_ratio(self) -> float:
+        """``|V'| / |V|`` — 0.5 for a perfect matching, 1.0 for an empty one."""
+        return self.coarse.num_vertices / self.original.num_vertices
+
+    def project(self, coarse_bisection: Bisection) -> Bisection:
+        """Uncompact: map a bisection of G' to the induced bisection of G.
+
+        The induced cut equals the coarse weighted cut, and the vertex
+        balance of the result equals the weighted balance of the coarse
+        bisection (both facts are property-tested).
+        """
+        if coarse_bisection.graph is not self.coarse and coarse_bisection.graph != self.coarse:
+            raise ValueError("bisection does not belong to this compaction's coarse graph")
+        assignment: dict[Vertex, int] = {}
+        for super_v, group in self.members.items():
+            side = coarse_bisection.side_of(super_v)
+            for v in group:
+                assignment[v] = side
+        return Bisection(self.original, assignment)
+
+
+def compact(graph: Graph, matching: Matching) -> Compaction:
+    """Contract the edges of ``matching`` in ``graph`` (paper step 2).
+
+    Supervertex labels are fresh integers ``0 .. |V'|-1`` (matched pairs
+    first, in matching order, then unmatched vertices in graph order), so
+    the coarse graph is independent of the original's label type.
+
+    Raises ``ValueError`` if ``matching`` is not a valid matching of
+    ``graph``.
+    """
+    if not is_matching(graph, matching):
+        raise ValueError("not a valid matching of this graph")
+
+    parent: dict[Vertex, Vertex] = {}
+    members: dict[Vertex, tuple[Vertex, ...]] = {}
+    next_label = 0
+    for u, v in matching:
+        parent[u] = parent[v] = next_label
+        members[next_label] = (u, v)
+        next_label += 1
+    for v in graph.vertices():
+        if v not in parent:
+            parent[v] = next_label
+            members[next_label] = (v,)
+            next_label += 1
+
+    coarse = Graph()
+    for super_v, group in members.items():
+        coarse.add_vertex(super_v, sum(graph.vertex_weight(v) for v in group))
+    for u, v, w in graph.edges():
+        pu, pv = parent[u], parent[v]
+        if pu == pv:
+            continue  # the contracted matching edge (or a parallel mate) vanishes
+        coarse.add_edge(pu, pv, w, merge=True)
+
+    return Compaction(original=graph, coarse=coarse, members=members, parent=parent)

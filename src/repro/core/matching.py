@@ -1,0 +1,100 @@
+"""Matchings for compaction.
+
+The paper's compaction step 1 is: "Form a maximum random matching M of the
+graph G."  In [BCLS87] and all follow-up work this means a random
+*maximal* matching — scan the edges in random order, keeping every edge
+whose endpoints are both still free (a maximum-cardinality matching would
+need Blossom and buys nothing for this use).  A maximal matching is at
+least half the size of a maximum one, and on random sparse graphs it
+covers most vertices, which is what drives the average-degree increase
+compaction relies on.
+
+:func:`heavy_edge_matching` is the weight-greedy variant used by modern
+multilevel partitioners; it exists here for the matching-policy ablation
+bench (``bench_ablation_matching``).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable
+
+from ..graphs.graph import Graph
+from ..rng import resolve_rng
+
+__all__ = ["random_maximal_matching", "heavy_edge_matching", "is_matching", "is_maximal_matching"]
+
+Vertex = Hashable
+Matching = list[tuple[Vertex, Vertex]]
+
+
+def random_maximal_matching(
+    graph: Graph, rng: random.Random | int | None = None
+) -> Matching:
+    """A uniformly-random-greedy maximal matching of ``graph``.
+
+    Edges are visited in a uniformly random order and kept when both
+    endpoints are free.  O(|E|).
+    """
+    rng = resolve_rng(rng)
+    edges = [(u, v) for u, v, _ in graph.edges()]
+    rng.shuffle(edges)
+    matched: set[Vertex] = set()
+    matching: Matching = []
+    for u, v in edges:
+        if u not in matched and v not in matched:
+            matching.append((u, v))
+            matched.add(u)
+            matched.add(v)
+    return matching
+
+
+def heavy_edge_matching(graph: Graph, rng: random.Random | int | None = None) -> Matching:
+    """Maximal matching preferring heavy edges (randomized vertex visit order).
+
+    Visits vertices in random order; each free vertex matches its free
+    neighbor with the heaviest connecting edge.  On unweighted graphs this
+    degenerates to a random greedy matching with a different bias than
+    :func:`random_maximal_matching` — the ablation bench compares the two.
+    """
+    rng = resolve_rng(rng)
+    vertices = list(graph.vertices())
+    rng.shuffle(vertices)
+    matched: set[Vertex] = set()
+    matching: Matching = []
+    for v in vertices:
+        if v in matched:
+            continue
+        best_u = None
+        best_w = 0
+        for u, w in graph.neighbor_items(v):
+            if u not in matched and w > best_w:
+                best_u, best_w = u, w
+        if best_u is not None:
+            matching.append((v, best_u))
+            matched.add(v)
+            matched.add(best_u)
+    return matching
+
+
+def is_matching(graph: Graph, matching: Matching) -> bool:
+    """True iff ``matching`` is a set of existing, vertex-disjoint edges."""
+    seen: set[Vertex] = set()
+    for u, v in matching:
+        if not graph.has_edge(u, v):
+            return False
+        if u in seen or v in seen:
+            return False
+        seen.add(u)
+        seen.add(v)
+    return True
+
+
+def is_maximal_matching(graph: Graph, matching: Matching) -> bool:
+    """True iff ``matching`` is a matching no edge can be added to."""
+    if not is_matching(graph, matching):
+        return False
+    matched = {v for pair in matching for v in pair}
+    return all(
+        u in matched or v in matched for u, v, _ in graph.edges()
+    )

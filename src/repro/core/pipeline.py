@@ -1,0 +1,183 @@
+"""The compacted-bisection pipeline: CKL and CSA (paper Section V).
+
+    Bisection using compaction works on a graph G = (V, E) as follows:
+    1. Form a maximum random matching M of the graph G.
+    2. Form a new graph G' by contracting the edges in the random matching M.
+    3. Run the bisection heuristic on G' to obtain the bisection (A', B').
+    4. Uncompact the edges ... and create an initial bisection (A, B) from (A', B').
+    5. Use (A, B) as the starting configuration for the bisection procedure
+       on the original graph.
+
+"We shall denote the methods resulting from using compaction as compacted
+simulated annealing (CSA) and compacted Kernighan-Lin (CKL)."
+
+Any bisector with the ``bisector(graph, init=..., rng=...)`` calling
+convention whose result exposes ``.bisection`` can be compacted;
+:func:`ckl` and :func:`csa` are the two the paper studies.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from ..graphs.graph import Graph
+from ..partition.annealing import AnnealingSchedule, BalanceCost, simulated_annealing
+from ..partition.bisection import Bisection, default_tolerance, rebalance
+from ..partition.kl import kernighan_lin
+from ..rng import resolve_rng
+from .compaction import Compaction, compact
+from .matching import Matching, random_maximal_matching
+
+__all__ = [
+    "compacted_bisection",
+    "CompactedResult",
+    "ckl",
+    "csa",
+    "coarse_only_bisection",
+    "CoarseOnlyResult",
+]
+
+Bisector = Callable[..., Any]
+MatchingPolicy = Callable[..., Matching]
+
+
+@dataclass(frozen=True)
+class CompactedResult:
+    """Outcome of the five-step compaction pipeline.
+
+    ``coarse_result`` / ``final_result`` are whatever the underlying
+    bisector returned on G' and on G; ``projected_cut`` is the cut of the
+    projected starting bisection (step 4), which quantifies how much work
+    the coarse phase did before refinement.
+    """
+
+    bisection: Bisection
+    compaction: Compaction
+    coarse_result: Any
+    final_result: Any
+    projected_cut: int
+
+    @property
+    def cut(self) -> int:
+        return self.bisection.cut
+
+
+def compacted_bisection(
+    graph: Graph,
+    bisector: Bisector,
+    rng: random.Random | int | None = None,
+    matching_policy: MatchingPolicy = random_maximal_matching,
+    **bisector_kwargs,
+) -> CompactedResult:
+    """Run the paper's five-step compacted bisection with ``bisector``.
+
+    ``bisector_kwargs`` are forwarded to both the coarse and the final
+    bisector call (e.g. an SA schedule).  The projected start is
+    rebalanced to the original graph's tolerance before step 5, since the
+    coarse graph's *achievable* balance can be looser than the original's
+    (e.g. an odd number of weight-2 supervertices).
+    """
+    rng = resolve_rng(rng)
+    matching = matching_policy(graph, rng)
+    compaction = compact(graph, matching)
+
+    coarse_result = bisector(compaction.coarse, rng=rng, **bisector_kwargs)
+    projected = compaction.project(coarse_result.bisection)
+    projected_cut = projected.cut
+
+    tolerance = default_tolerance(graph)
+    if projected.imbalance > tolerance:
+        assignment = rebalance(graph, projected.assignment(), tolerance, rng)
+        projected = Bisection(graph, assignment)
+
+    final_result = bisector(graph, init=projected, rng=rng, **bisector_kwargs)
+    return CompactedResult(
+        bisection=final_result.bisection,
+        compaction=compaction,
+        coarse_result=coarse_result,
+        final_result=final_result,
+        projected_cut=projected_cut,
+    )
+
+
+@dataclass(frozen=True)
+class CoarseOnlyResult:
+    """Outcome of the coarse-only (no step 5) pipeline."""
+
+    bisection: Bisection
+    compaction: Compaction
+    coarse_result: Any
+    projected_cut: int
+
+    @property
+    def cut(self) -> int:
+        return self.bisection.cut
+
+
+def coarse_only_bisection(
+    graph: Graph,
+    bisector: Bisector,
+    rng: random.Random | int | None = None,
+    matching_policy: MatchingPolicy = random_maximal_matching,
+    **bisector_kwargs,
+) -> CoarseOnlyResult:
+    """Compaction steps 1-4 only: bisect the contracted graph and project.
+
+    This is the Goldberg-Burstein [GB83] style of matching-based
+    improvement the paper cites ("Kernighan-Lin based algorithms did
+    better on networks of large degree") — pairs are decided at the coarse
+    level and never refined individually.  Comparing it against the full
+    five-step pipeline isolates the value of step 5 (the fine-level
+    refinement), which ``bench_ablation_refinement`` measures.
+    """
+    rng = resolve_rng(rng)
+    matching = matching_policy(graph, rng)
+    compaction = compact(graph, matching)
+    coarse_result = bisector(compaction.coarse, rng=rng, **bisector_kwargs)
+    projected = compaction.project(coarse_result.bisection)
+    projected_cut = projected.cut
+
+    tolerance = default_tolerance(graph)
+    if projected.imbalance > tolerance:
+        assignment = rebalance(graph, projected.assignment(), tolerance, rng)
+        projected = Bisection(graph, assignment)
+    return CoarseOnlyResult(
+        bisection=projected,
+        compaction=compaction,
+        coarse_result=coarse_result,
+        projected_cut=projected_cut,
+    )
+
+
+def ckl(
+    graph: Graph,
+    rng: random.Random | int | None = None,
+    matching_policy: MatchingPolicy = random_maximal_matching,
+    max_passes: int | None = None,
+) -> CompactedResult:
+    """Compacted Kernighan-Lin (the paper's CKL)."""
+    kwargs = {} if max_passes is None else {"max_passes": max_passes}
+    return compacted_bisection(
+        graph, kernighan_lin, rng=rng, matching_policy=matching_policy, **kwargs
+    )
+
+
+def csa(
+    graph: Graph,
+    rng: random.Random | int | None = None,
+    matching_policy: MatchingPolicy = random_maximal_matching,
+    schedule: AnnealingSchedule | None = None,
+    cost: BalanceCost | None = None,
+) -> CompactedResult:
+    """Compacted simulated annealing (the paper's CSA)."""
+    kwargs: dict[str, Any] = {}
+    if schedule is not None:
+        kwargs["schedule"] = schedule
+    if cost is not None:
+        kwargs["cost"] = cost
+    return compacted_bisection(
+        graph, simulated_annealing, rng=rng, matching_policy=matching_policy, **kwargs
+    )

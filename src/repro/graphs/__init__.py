@@ -1,0 +1,45 @@
+"""Graph substrate: data structure, generators, traversal, properties, I/O."""
+
+from .graph import Graph
+from .properties import (
+    degree_histogram,
+    degree_statistics,
+    expected_gnp_degree,
+    gnp_probability_for_degree,
+    is_regular,
+    is_simple,
+    max_degree,
+    min_degree,
+    planted_probability_for_degree,
+    random_bisection_expected_cut,
+)
+from .traversal import (
+    bfs_layers,
+    bfs_order,
+    connected_components,
+    cycle_decomposition,
+    dfs_order,
+    is_connected,
+    shortest_path_lengths,
+)
+
+__all__ = [
+    "Graph",
+    "bfs_order",
+    "bfs_layers",
+    "dfs_order",
+    "connected_components",
+    "is_connected",
+    "shortest_path_lengths",
+    "cycle_decomposition",
+    "degree_histogram",
+    "degree_statistics",
+    "min_degree",
+    "max_degree",
+    "is_regular",
+    "is_simple",
+    "expected_gnp_degree",
+    "gnp_probability_for_degree",
+    "planted_probability_for_degree",
+    "random_bisection_expected_cut",
+]

@@ -1,0 +1,59 @@
+"""Graph generators: the paper's three random models plus special families.
+
+* :func:`gnp` — ``Gnp(2n, p)`` (Erdos-Renyi),
+* :func:`g2set` — ``G2set(2n, pA, pB, bis)`` (planted bisection),
+* :func:`gbreg` — ``Gbreg(2n, b, d)`` (regular with planted bisection width,
+  the [BCLS87] model most of the paper's experiments use),
+* special families: grids, ladders, binary trees, cycles, ... (Section VI).
+"""
+
+from .bregular import BisectionRegularGraph, feasible_bisection_widths, gbreg
+from .gnp import gnp, gnp_with_degree
+from .planted import PlantedGraph, g2set, g2set_with_degree
+from .regular import random_regular_graph, sample_with_degrees
+from .special import (
+    binary_tree,
+    caterpillar_graph,
+    circular_ladder_graph,
+    complete_binary_tree,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_cycles,
+    grid_graph,
+    hypercube_graph,
+    ladder_graph,
+    path_graph,
+    star_graph,
+    torus_graph,
+)
+from .trees import prufer_decode, random_tree
+
+__all__ = [
+    "gnp",
+    "gnp_with_degree",
+    "g2set",
+    "g2set_with_degree",
+    "PlantedGraph",
+    "gbreg",
+    "BisectionRegularGraph",
+    "feasible_bisection_widths",
+    "random_regular_graph",
+    "sample_with_degrees",
+    "path_graph",
+    "cycle_graph",
+    "ladder_graph",
+    "circular_ladder_graph",
+    "grid_graph",
+    "binary_tree",
+    "complete_binary_tree",
+    "disjoint_cycles",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "star_graph",
+    "caterpillar_graph",
+    "torus_graph",
+    "hypercube_graph",
+    "random_tree",
+    "prufer_decode",
+]

@@ -1,0 +1,127 @@
+"""Random graphs with prescribed degree sequences (configuration model).
+
+This is the substrate for the ``Gbreg(2n, b, d)`` model: each side of a
+``Gbreg`` graph is a uniform-ish random *simple* graph on its residual
+degree sequence.  Sampling uses the pairing (configuration) model followed
+by degree-preserving edge-swap repair of self-loops and parallel edges,
+with whole-pairing restarts as a fallback — the standard practical recipe
+for small fixed degrees.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Mapping
+
+from ...rng import resolve_rng
+from ..graph import Graph
+
+__all__ = ["sample_with_degrees", "random_regular_graph"]
+
+Vertex = Hashable
+
+
+def _pair_key(u, v) -> tuple:
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+def _repair_pairing(
+    pairs: list[tuple], counts: dict[tuple, int], rng: random.Random, max_attempts: int
+) -> bool:
+    """Edge-swap away self-loops and duplicate pairs in place.
+
+    A bad pair ``(u, v)`` (loop, or second+ copy of an edge) is fixed by
+    picking another pair ``(x, y)`` and rewiring to ``(u, x), (v, y)`` when
+    that creates neither loops nor duplicates.  Degree sequence is
+    preserved by construction.  Returns True on full repair.
+    """
+
+    def is_bad(i: int) -> bool:
+        u, v = pairs[i]
+        return u == v or counts[_pair_key(u, v)] > 1
+
+    bad = {i for i in range(len(pairs)) if is_bad(i)}
+    attempts = 0
+    while bad and attempts < max_attempts:
+        attempts += 1
+        i = next(iter(bad))
+        u, v = pairs[i]
+        j = rng.randrange(len(pairs))
+        if j == i:
+            continue
+        x, y = pairs[j]
+        # Randomize orientation of the partner pair so both rewirings are reachable.
+        if rng.random() < 0.5:
+            x, y = y, x
+        if u == x or v == y:
+            continue
+        if counts.get(_pair_key(u, x), 0) or counts.get(_pair_key(v, y), 0):
+            continue
+        # Rewire (u,v),(x,y) -> (u,x),(v,y).
+        for a, b in ((u, v), (x, y)):
+            counts[_pair_key(a, b)] -= 1
+        for a, b in ((u, x), (v, y)):
+            counts[_pair_key(a, b)] = counts.get(_pair_key(a, b), 0) + 1
+        pairs[i] = (u, x)
+        pairs[j] = (v, y)
+        for k in (i, j):
+            if is_bad(k):
+                bad.add(k)
+            else:
+                bad.discard(k)
+    return not bad
+
+
+def sample_with_degrees(
+    degrees: Mapping[Vertex, int],
+    rng: random.Random | int | None = None,
+    max_restarts: int = 100,
+) -> Graph:
+    """Sample a random simple graph whose vertex ``v`` has degree ``degrees[v]``.
+
+    Vertices with degree 0 are included as isolated vertices.  Raises
+    ``ValueError`` for an odd degree sum or negative degrees, and
+    ``RuntimeError`` if no simple realization is found within
+    ``max_restarts`` pairings (which, for a graphical sequence of bounded
+    degree, is astronomically unlikely).
+    """
+    rng = resolve_rng(rng)
+    stubs: list[Vertex] = []
+    for v, d in degrees.items():
+        if d < 0:
+            raise ValueError(f"negative degree {d} for vertex {v!r}")
+        if d >= len(degrees):
+            raise ValueError(f"degree {d} of {v!r} exceeds n-1 = {len(degrees) - 1}")
+        stubs.extend([v] * d)
+    if len(stubs) % 2:
+        raise ValueError("degree sum must be even")
+
+    for _ in range(max_restarts):
+        rng.shuffle(stubs)
+        pairs = [(stubs[i], stubs[i + 1]) for i in range(0, len(stubs), 2)]
+        counts: dict[tuple, int] = {}
+        for u, v in pairs:
+            key = _pair_key(u, v)
+            counts[key] = counts.get(key, 0) + 1
+        if _repair_pairing(pairs, counts, rng, max_attempts=200 * len(pairs) + 2000):
+            g = Graph()
+            for v in degrees:
+                g.add_vertex(v)
+            for u, v in pairs:
+                g.add_edge(u, v)
+            return g
+    raise RuntimeError(
+        f"could not realize degree sequence as a simple graph in {max_restarts} restarts "
+        "(is the sequence graphical?)"
+    )
+
+
+def random_regular_graph(
+    num_vertices: int, degree: int, rng: random.Random | int | None = None
+) -> Graph:
+    """Sample a random simple ``degree``-regular graph on ``num_vertices`` vertices."""
+    if num_vertices * degree % 2:
+        raise ValueError("num_vertices * degree must be even")
+    if degree >= num_vertices:
+        raise ValueError("degree must be less than num_vertices")
+    return sample_with_degrees({v: degree for v in range(num_vertices)}, rng)

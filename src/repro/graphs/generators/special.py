@@ -1,0 +1,225 @@
+"""Deterministic special-graph families used in the paper's experiments.
+
+Section VI tests the heuristics on grids, ladders, and binary trees
+(Table 1 and the appendix "special graphs" tables); the ladder graph
+(Fig. 3) is the classic adversarial instance for Kernighan–Lin.  Degree-2
+``Gbreg`` graphs are disjoint unions of chordless cycles, so cycle
+collections are also provided.
+
+Known optimal bisection widths (used as test oracles):
+
+* ladder with ``2k`` vertices, ``k`` even: 2 (cut between two rungs),
+* circular ladder: 4,
+* ``r x c`` grid with ``r*c`` even: ``min(r, c)`` (a straight cut along the
+  shorter dimension; for even split it must fall between rows/columns),
+* even cycle: 2,
+* complete graph ``K_{2n}``: ``n^2``,
+* complete bipartite ``K_{n,n}`` split across the sides: ``n^2 / 2`` region.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "ladder_graph",
+    "circular_ladder_graph",
+    "grid_graph",
+    "torus_graph",
+    "hypercube_graph",
+    "binary_tree",
+    "complete_binary_tree",
+    "disjoint_cycles",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "star_graph",
+    "caterpillar_graph",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """Path on ``n`` vertices ``0 - 1 - ... - (n-1)``."""
+    if n < 1:
+        raise ValueError("path needs at least one vertex")
+    return Graph.from_edges(((i, i + 1) for i in range(n - 1)), vertices=range(n))
+
+
+def cycle_graph(n: int) -> Graph:
+    """Cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise ValueError("cycle needs at least three vertices")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Graph.from_edges(edges)
+
+
+def ladder_graph(rungs: int) -> Graph:
+    """Ladder with ``rungs`` rungs (``2 * rungs`` vertices).
+
+    Vertices ``(0, i)`` and ``(1, i)`` are flattened to ``i`` and
+    ``rungs + i``: two parallel paths (rails) joined by a rung at each
+    position — the Fig. 3 family on which plain Kernighan–Lin fails badly.
+    """
+    if rungs < 1:
+        raise ValueError("ladder needs at least one rung")
+    g = Graph()
+    for i in range(rungs):
+        g.add_edge(i, rungs + i)  # rung
+        if i + 1 < rungs:
+            g.add_edge(i, i + 1)  # top rail
+            g.add_edge(rungs + i, rungs + i + 1)  # bottom rail
+    return g
+
+
+def circular_ladder_graph(rungs: int) -> Graph:
+    """Ladder whose rails are closed into cycles (the prism graph)."""
+    if rungs < 3:
+        raise ValueError("circular ladder needs at least three rungs")
+    g = ladder_graph(rungs)
+    g.add_edge(0, rungs - 1)
+    g.add_edge(rungs, 2 * rungs - 1)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """``rows x cols`` grid; vertex ``(r, c)`` is flattened to ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            g.add_vertex(v)
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def torus_graph(rows: int, cols: int) -> Graph:
+    """``rows x cols`` grid with wraparound in both dimensions (4-regular).
+
+    The standard VLSI/NoC mesh-with-wraparound topology; for even
+    dimensions its bisection width is ``2 * min(rows, cols)`` (the
+    straight cut crosses each wrapped row/column twice).
+    """
+    if rows < 3 or cols < 3:
+        raise ValueError("torus dimensions must be at least 3 (else parallel edges)")
+    g = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            g.add_edge(v, r * cols + (c + 1) % cols)
+            g.add_edge(v, ((r + 1) % rows) * cols + c)
+    return g
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-dimensional hypercube on ``2^dimension`` vertices.
+
+    Vertices are bit labels; edges join labels at Hamming distance 1.
+    Bisection width is exactly ``2^(dimension-1)`` (cut one coordinate),
+    a classic sanity target for bisection heuristics.
+    """
+    if dimension < 1:
+        raise ValueError("dimension must be positive")
+    g = Graph()
+    n = 1 << dimension
+    for v in range(n):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if u > v:
+                g.add_edge(v, u)
+    return g
+
+
+def binary_tree(n: int) -> Graph:
+    """Binary tree on ``n`` vertices in heap order: ``i`` is joined to ``2i+1``, ``2i+2``.
+
+    For ``n = 2^h - 1`` this is the complete binary tree of height ``h``;
+    other ``n`` give the left-filled ("almost complete") tree, which is how
+    even vertex counts (as in the paper's tables) are realized.
+    """
+    if n < 1:
+        raise ValueError("tree needs at least one vertex")
+    g = Graph()
+    g.add_vertex(0)
+    for i in range(n):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < n:
+                g.add_edge(i, child)
+    return g
+
+
+def complete_binary_tree(height: int) -> Graph:
+    """Complete binary tree of the given height (``2^height - 1`` vertices)."""
+    if height < 1:
+        raise ValueError("height must be positive")
+    return binary_tree(2**height - 1)
+
+
+def disjoint_cycles(sizes: list[int]) -> Graph:
+    """Disjoint union of cycles with the given sizes (each >= 3).
+
+    This is the shape of every ``Gbreg(2n, b, 2)`` graph (paper Section VI:
+    "graphs of degree two must consist only of a collection of chordless
+    cycles"), whose optimal bisection is at most 2.
+    """
+    g = Graph()
+    offset = 0
+    for size in sizes:
+        if size < 3:
+            raise ValueError("each cycle needs at least three vertices")
+        for i in range(size):
+            g.add_edge(offset + i, offset + (i + 1) % size)
+        offset += size
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    """Complete graph ``K_n``."""
+    if n < 1:
+        raise ValueError("complete graph needs at least one vertex")
+    g = Graph()
+    g.add_vertex(0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j)
+    return g
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """Complete bipartite graph ``K_{a,b}``; left side is ``0..a-1``."""
+    if a < 1 or b < 1:
+        raise ValueError("both sides need at least one vertex")
+    g = Graph()
+    for i in range(a):
+        for j in range(b):
+            g.add_edge(i, a + j)
+    return g
+
+
+def star_graph(leaves: int) -> Graph:
+    """Star with the given number of leaves (center is vertex 0)."""
+    if leaves < 1:
+        raise ValueError("star needs at least one leaf")
+    return Graph.from_edges((0, i) for i in range(1, leaves + 1))
+
+
+def caterpillar_graph(spine: int, legs_per_vertex: int) -> Graph:
+    """Caterpillar: a path of ``spine`` vertices, each with pendant legs.
+
+    A sparse, tree-like stress case (average degree < 2 for long legs),
+    complementing the paper's binary trees.
+    """
+    if spine < 1 or legs_per_vertex < 0:
+        raise ValueError("spine must be positive, legs nonnegative")
+    g = path_graph(spine)
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs_per_vertex):
+            g.add_edge(s, nxt)
+            nxt += 1
+    return g

@@ -1,0 +1,66 @@
+"""Uniformly random labelled trees (Prüfer-sequence decoding).
+
+Binary trees are the paper's tree family; uniformly random trees are the
+natural generalization for stress-testing tree bisection (they mix long
+paths with high-degree hubs).  By Cayley's formula there are ``n^(n-2)``
+labelled trees on ``n`` vertices; decoding a uniformly random Prüfer
+sequence samples exactly uniformly among them.
+"""
+
+from __future__ import annotations
+
+import random
+from heapq import heapify, heappop, heappush
+
+from ...rng import resolve_rng
+from ..graph import Graph
+
+__all__ = ["random_tree", "prufer_decode"]
+
+
+def prufer_decode(sequence: list[int], n: int) -> Graph:
+    """Decode a Prüfer sequence of length ``n - 2`` into its tree.
+
+    Vertices are ``0..n-1``; raises ``ValueError`` on malformed input.
+    """
+    if n < 2:
+        raise ValueError("a tree needs at least two vertices")
+    if len(sequence) != n - 2:
+        raise ValueError(f"sequence length must be n-2 = {n - 2}, got {len(sequence)}")
+    if any(not 0 <= s < n for s in sequence):
+        raise ValueError("sequence entries must be vertex labels 0..n-1")
+
+    remaining_degree = [1] * n
+    for s in sequence:
+        remaining_degree[s] += 1
+
+    leaves = [v for v in range(n) if remaining_degree[v] == 1]
+    heapify(leaves)
+
+    g = Graph()
+    for v in range(n):
+        g.add_vertex(v)
+    for s in sequence:
+        leaf = heappop(leaves)
+        g.add_edge(leaf, s)
+        remaining_degree[s] -= 1
+        if remaining_degree[s] == 1:
+            heappush(leaves, s)
+    last_two = [heappop(leaves), heappop(leaves)]
+    g.add_edge(last_two[0], last_two[1])
+    return g
+
+
+def random_tree(n: int, rng: random.Random | int | None = None) -> Graph:
+    """A uniformly random labelled tree on ``n`` vertices."""
+    if n < 1:
+        raise ValueError("tree needs at least one vertex")
+    rng = resolve_rng(rng)
+    if n == 1:
+        g = Graph()
+        g.add_vertex(0)
+        return g
+    if n == 2:
+        return Graph.from_edges([(0, 1)])
+    sequence = [rng.randrange(n) for _ in range(n - 2)]
+    return prufer_decode(sequence, n)

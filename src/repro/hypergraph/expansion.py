@@ -1,0 +1,72 @@
+"""Graph abstractions of hypergraphs: clique and star expansion.
+
+The 1989-era workflow (including the paper's [GB83] reference) bisected
+VLSI *networks* through a graph abstraction.  Two classic expansions:
+
+* **clique**: each k-pin net becomes a clique on its pins.  Every cut of
+  the net is charged at least once, but wide nets are over-charged
+  (a bipartitioned k-net costs up to ``(k/2)^2`` edges instead of 1);
+* **star**: each k-pin net (k >= 3) becomes a star through a fresh dummy
+  vertex.  A cut net costs 1-2 star edges, but the dummies perturb the
+  vertex-weight balance, so the expansion returns the dummy set for the
+  caller to handle (give them weight 1 and loosen tolerance, or pin
+  them — this module leaves the policy to the caller).
+
+The netlist bench (``benchmarks/test_netlist_partitioning.py``) measures
+the end effect: native hypergraph FM vs KL/CKL on the clique expansion,
+scored on true net cut.
+"""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph
+from .hypergraph import Hypergraph
+
+__all__ = ["clique_expansion", "star_expansion"]
+
+
+def clique_expansion(hypergraph: Hypergraph) -> Graph:
+    """Expand each net into a clique on its pins (parallel edges merge).
+
+    Edge weights accumulate ``net_weight`` per covering net, so nets that
+    wire the same cell pair repeatedly yield proportionally heavier edges.
+    Vertex weights carry over.
+    """
+    g = Graph()
+    for v in hypergraph.vertices():
+        g.add_vertex(v, hypergraph.vertex_weight(v))
+    for net in hypergraph.nets():
+        pins = hypergraph.pins(net)
+        w = hypergraph.net_weight(net)
+        for i in range(len(pins)):
+            for j in range(i + 1, len(pins)):
+                g.add_edge(pins[i], pins[j], w, merge=True)
+    return g
+
+
+def star_expansion(hypergraph: Hypergraph) -> tuple[Graph, frozenset]:
+    """Expand each net (k >= 3) into a star through a dummy center vertex.
+
+    Returns ``(graph, dummies)``.  Dummy vertices are labelled
+    ``("net", net_id)`` with weight 1; 2-pin nets become plain edges.
+    """
+    g = Graph()
+    for v in hypergraph.vertices():
+        if isinstance(v, tuple) and len(v) == 2 and v[0] == "net":
+            raise ValueError(f"vertex label {v!r} collides with dummy namespace")
+        g.add_vertex(v, hypergraph.vertex_weight(v))
+    dummies = set()
+    for net in hypergraph.nets():
+        pins = hypergraph.pins(net)
+        w = hypergraph.net_weight(net)
+        if len(pins) < 2:
+            continue
+        if len(pins) == 2:
+            g.add_edge(pins[0], pins[1], w, merge=True)
+            continue
+        center = ("net", net)
+        g.add_vertex(center, 1)
+        dummies.add(center)
+        for p in pins:
+            g.add_edge(center, p, w, merge=True)
+    return g, frozenset(dummies)

@@ -1,0 +1,130 @@
+"""Gain containers for FM-style passes: lazy heaps and bucket arrays.
+
+Fiduccia & Mattheyses' linear-time claim rests on the *bucket array*: one
+doubly-linked list of cells per integer gain value, a max-gain pointer
+that only moves down between insertions, and O(1) updates because every
+gain change is known exactly (no stale entries).  The lazy max-heap used
+elsewhere in this package is simpler and asymptotically
+``O(log n)``-per-update instead.
+
+Both are implemented here behind one interface so
+:func:`repro.hypergraph.fm.hypergraph_fm` can run with either
+(``gain_structure="heap" | "bucket"``) and the ablation bench can compare
+them.  In CPython, sets stand in for the linked lists — deletion is O(1)
+either way.
+
+Interface (both classes):
+
+* ``add(side, v, gain)`` — insert an unlocked cell;
+* ``update(side, v, old_gain, new_gain)`` — exact gain change;
+* ``discard(side, v, gain)`` — remove (e.g. on locking);
+* ``select(side, allowed)`` — highest-gain cell on ``side`` for which
+  ``allowed(v)`` holds, or ``None``; the container state is unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+from heapq import heappop, heappush
+
+__all__ = ["HeapGains", "BucketGains", "make_gain_container"]
+
+Vertex = Hashable
+
+
+class HeapGains:
+    """Lazy max-heaps: stale entries are skipped at selection time.
+
+    Requires a ``current_gain`` callback to detect staleness (entries are
+    never removed eagerly; ``discard`` is a no-op and ``update`` just
+    pushes the fresh value).
+    """
+
+    def __init__(self, current_gain: Callable[[Vertex], int]):
+        self._heaps: tuple[list, list] = ([], [])
+        self._current_gain = current_gain
+
+    def add(self, side: int, v: Vertex, gain: int) -> None:
+        heappush(self._heaps[side], (-gain, v))
+
+    def update(self, side: int, v: Vertex, old_gain: int, new_gain: int) -> None:
+        heappush(self._heaps[side], (-new_gain, v))
+
+    def discard(self, side: int, v: Vertex, gain: int) -> None:
+        pass  # stale entries are filtered by select()
+
+    def select(self, side: int, allowed: Callable[[Vertex], bool]):
+        heap = self._heaps[side]
+        stash = []
+        found = None
+        while heap:
+            neg_gain, v = heappop(heap)
+            if self._current_gain(v) != -neg_gain:
+                continue  # stale
+            if allowed(v):
+                found = v
+                stash.append((neg_gain, v))
+                break
+            stash.append((neg_gain, v))
+        for item in stash:
+            heappush(heap, item)
+        return found
+
+
+class BucketGains:
+    """FM's bucket array: one cell set per gain value, max-gain pointers.
+
+    All operations are O(1) amortized except ``select``, which scans down
+    from the max-gain pointer past disallowed cells (in practice a few
+    entries).  Gains are exact — there are no stale entries — so the
+    structure also serves as ground truth in the container-equivalence
+    tests.
+    """
+
+    def __init__(self):
+        self._buckets: tuple[dict[int, set], dict[int, set]] = ({}, {})
+        self._max_gain: list[int | None] = [None, None]
+
+    def add(self, side: int, v: Vertex, gain: int) -> None:
+        bucket = self._buckets[side].setdefault(gain, set())
+        bucket.add(v)
+        current = self._max_gain[side]
+        if current is None or gain > current:
+            self._max_gain[side] = gain
+
+    def discard(self, side: int, v: Vertex, gain: int) -> None:
+        bucket = self._buckets[side].get(gain)
+        if bucket is None or v not in bucket:
+            return
+        bucket.discard(v)
+        if not bucket:
+            del self._buckets[side][gain]
+            if self._max_gain[side] == gain:
+                remaining = self._buckets[side]
+                self._max_gain[side] = max(remaining) if remaining else None
+
+    def update(self, side: int, v: Vertex, old_gain: int, new_gain: int) -> None:
+        if old_gain == new_gain:
+            return
+        self.discard(side, v, old_gain)
+        self.add(side, v, new_gain)
+
+    def select(self, side: int, allowed: Callable[[Vertex], bool]):
+        buckets = self._buckets[side]
+        if not buckets:
+            return None
+        # Scan gain levels downward from the pointer.
+        for gain in sorted(buckets, reverse=True):
+            for v in buckets[gain]:
+                if allowed(v):
+                    return v
+        return None
+
+
+def make_gain_container(kind: str, current_gain: Callable[[Vertex], int]):
+    """Factory: ``"heap"`` or ``"bucket"`` gain container."""
+    if kind == "heap":
+        return HeapGains(current_gain)
+    if kind == "bucket":
+        return BucketGains()
+    raise ValueError(f"gain_structure must be 'heap' or 'bucket', got {kind!r}")

@@ -1,0 +1,267 @@
+"""Hypergraph (netlist) data structure.
+
+The paper's domain is VLSI: circuits are *netlists* — cells connected by
+multi-pin nets — i.e. hypergraphs, not graphs.  The paper (and its
+[GB83] reference, "Heuristic Improvement Technique for Bisection of VLSI
+Networks") bisects graph abstractions of netlists; this subpackage
+provides the native object so the library can also partition netlists
+directly (the Fiduccia-Mattheyses algorithm was designed for exactly
+this) and quantify what the graph abstraction loses
+(:mod:`repro.hypergraph.expansion`).
+
+A :class:`Hypergraph` has weighted vertices (cells) and weighted nets
+(hyperedges); the bisection objective is the total weight of *cut nets* —
+nets with pins on both sides.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+
+__all__ = ["Hypergraph", "HypergraphBisection", "net_cut_weight"]
+
+Vertex = Hashable
+
+
+class Hypergraph:
+    """Weighted hypergraph with cells (vertices) and nets (hyperedges).
+
+    Nets are identified by dense integer ids assigned at ``add_net`` time.
+    Single-pin nets are allowed (common in real netlists) and never count
+    toward any cut.  Duplicate pins within a net are collapsed.
+
+    >>> hg = Hypergraph()
+    >>> hg.add_net([0, 1, 2])
+    0
+    >>> hg.add_net([2, 3])
+    1
+    >>> hg.num_vertices, hg.num_nets, hg.num_pins
+    (4, 2, 5)
+    """
+
+    __slots__ = ("_vertex_weight", "_nets_of", "_pins", "_net_weight")
+
+    def __init__(self) -> None:
+        self._vertex_weight: dict[Vertex, int] = {}
+        self._nets_of: dict[Vertex, list[int]] = {}
+        self._pins: list[tuple[Vertex, ...]] = []
+        self._net_weight: list[int] = []
+
+    # -- construction -------------------------------------------------------------
+
+    def add_vertex(self, v: Vertex, weight: int = 1) -> None:
+        """Add cell ``v`` (idempotent; re-adding updates the weight)."""
+        if weight <= 0:
+            raise ValueError(f"vertex weight must be positive, got {weight}")
+        if v not in self._vertex_weight:
+            self._nets_of[v] = []
+        self._vertex_weight[v] = weight
+
+    def add_net(self, pins: Iterable[Vertex], weight: int = 1) -> int:
+        """Add a net over ``pins``; returns its net id.
+
+        Pins are de-duplicated; endpoints are created as needed.
+        """
+        if weight <= 0:
+            raise ValueError(f"net weight must be positive, got {weight}")
+        unique: list[Vertex] = []
+        seen: set[Vertex] = set()
+        for p in pins:
+            if p not in seen:
+                seen.add(p)
+                unique.append(p)
+        if not unique:
+            raise ValueError("a net needs at least one pin")
+        net_id = len(self._pins)
+        for p in unique:
+            if p not in self._vertex_weight:
+                self.add_vertex(p)
+            self._nets_of[p].append(net_id)
+        self._pins.append(tuple(unique))
+        self._net_weight.append(weight)
+        return net_id
+
+    @classmethod
+    def from_nets(cls, nets: Iterable[Iterable[Vertex]]) -> "Hypergraph":
+        """Build from an iterable of pin lists (all weights 1)."""
+        hg = cls()
+        for pins in nets:
+            hg.add_net(pins)
+        return hg
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertex_weight)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._pins)
+
+    @property
+    def num_pins(self) -> int:
+        return sum(len(p) for p in self._pins)
+
+    @property
+    def total_vertex_weight(self) -> int:
+        return sum(self._vertex_weight.values())
+
+    @property
+    def total_net_weight(self) -> int:
+        return sum(self._net_weight)
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._vertex_weight)
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._vertex_weight
+
+    def __len__(self) -> int:
+        return len(self._vertex_weight)
+
+    def vertex_weight(self, v: Vertex) -> int:
+        return self._vertex_weight[v]
+
+    def is_uniform_vertex_weight(self) -> bool:
+        return all(w == 1 for w in self._vertex_weight.values())
+
+    def nets(self) -> Iterator[int]:
+        return iter(range(len(self._pins)))
+
+    def pins(self, net: int) -> tuple[Vertex, ...]:
+        """The cells on ``net``."""
+        return self._pins[net]
+
+    def net_weight(self, net: int) -> int:
+        return self._net_weight[net]
+
+    def net_size(self, net: int) -> int:
+        return len(self._pins[net])
+
+    def nets_of(self, v: Vertex) -> list[int]:
+        """The nets cell ``v`` is a pin of (do not mutate)."""
+        return self._nets_of[v]
+
+    def degree(self, v: Vertex) -> int:
+        """Number of nets incident to ``v``."""
+        return len(self._nets_of[v])
+
+    def average_net_size(self) -> float:
+        if not self._pins:
+            return 0.0
+        return self.num_pins / self.num_nets
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph(|V|={self.num_vertices}, |N|={self.num_nets}, "
+            f"pins={self.num_pins})"
+        )
+
+    def validate(self) -> None:
+        """Check pin-list / incidence-list consistency; raises on violation."""
+        for v, nets in self._nets_of.items():
+            for n in nets:
+                if v not in self._pins[n]:
+                    raise AssertionError(f"vertex {v!r} lists net {n} but is not a pin")
+        for n, pins in enumerate(self._pins):
+            if len(set(pins)) != len(pins):
+                raise AssertionError(f"net {n} has duplicate pins")
+            for p in pins:
+                if n not in self._nets_of[p]:
+                    raise AssertionError(f"net {n} has pin {p!r} without back-reference")
+
+
+def net_cut_weight(hypergraph: Hypergraph, assignment: Mapping[Vertex, int]) -> int:
+    """Total weight of nets with pins on both sides of ``assignment``."""
+    total = 0
+    for net in hypergraph.nets():
+        pins = hypergraph.pins(net)
+        first = assignment[pins[0]]
+        if any(assignment[p] != first for p in pins[1:]):
+            total += hypergraph.net_weight(net)
+    return total
+
+
+class HypergraphBisection:
+    """An immutable two-way partition of a hypergraph's cells.
+
+    The ``cut`` is the net-cut (weight of nets spanning both sides) — the
+    quantity a VLSI bisection actually minimizes, as opposed to the edge
+    cut of a graph abstraction.
+    """
+
+    __slots__ = ("_hypergraph", "_assignment", "_cut", "_weights")
+
+    def __init__(self, hypergraph: Hypergraph, assignment: Mapping[Vertex, int]):
+        missing = [v for v in hypergraph.vertices() if v not in assignment]
+        if missing:
+            raise ValueError(f"assignment missing {len(missing)} cells, e.g. {missing[0]!r}")
+        bad = [v for v in hypergraph.vertices() if assignment[v] not in (0, 1)]
+        if bad:
+            raise ValueError(f"assignment values must be 0 or 1 (cell {bad[0]!r})")
+        self._hypergraph = hypergraph
+        self._assignment = {v: assignment[v] for v in hypergraph.vertices()}
+        self._cut: int | None = None
+        self._weights: tuple[int, int] | None = None
+
+    @classmethod
+    def from_sides(cls, hypergraph: Hypergraph, side_zero: Iterable[Vertex]):
+        zero = set(side_zero)
+        return cls(hypergraph, {v: 0 if v in zero else 1 for v in hypergraph.vertices()})
+
+    @property
+    def hypergraph(self) -> Hypergraph:
+        return self._hypergraph
+
+    def side_of(self, v: Vertex) -> int:
+        return self._assignment[v]
+
+    def side(self, which: int) -> frozenset:
+        if which not in (0, 1):
+            raise ValueError("side must be 0 or 1")
+        return frozenset(v for v, s in self._assignment.items() if s == which)
+
+    def assignment(self) -> dict[Vertex, int]:
+        return dict(self._assignment)
+
+    @property
+    def cut(self) -> int:
+        if self._cut is None:
+            self._cut = net_cut_weight(self._hypergraph, self._assignment)
+        return self._cut
+
+    @property
+    def weights(self) -> tuple[int, int]:
+        if self._weights is None:
+            w0 = sum(
+                self._hypergraph.vertex_weight(v)
+                for v, s in self._assignment.items()
+                if s == 0
+            )
+            self._weights = (w0, self._hypergraph.total_vertex_weight - w0)
+        return self._weights
+
+    @property
+    def imbalance(self) -> int:
+        w0, w1 = self.weights
+        return abs(w0 - w1)
+
+    def is_balanced(self, tolerance: int | None = None) -> bool:
+        if tolerance is None:
+            from ..partition.bisection import minimum_achievable_imbalance
+
+            if self._hypergraph.is_uniform_vertex_weight():
+                tolerance = self._hypergraph.num_vertices % 2
+            else:
+                tolerance = minimum_achievable_imbalance(
+                    self._hypergraph.vertex_weight(v) for v in self._hypergraph.vertices()
+                )
+        return self.imbalance <= tolerance
+
+    def __repr__(self) -> str:
+        n1 = sum(self._assignment.values())
+        return (
+            f"HypergraphBisection(net_cut={self.cut}, "
+            f"sides=({len(self._assignment) - n1}, {n1}))"
+        )

@@ -1,0 +1,113 @@
+"""hMETIS-format hypergraph serialization.
+
+The de-facto standard netlist exchange format:
+
+    <num_nets> <num_vertices> [fmt]
+    <net line> x num_nets       -- 1-based vertex ids, optional leading weight
+    <vertex weight> x num_vertices   -- only when fmt has the 10 bit
+
+``fmt``: omitted/0 = unweighted, 1 = net weights, 10 = vertex weights,
+11 = both.  Comment lines start with ``%``.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import TextIO
+
+from .hypergraph import Hypergraph
+
+__all__ = ["write_hmetis", "read_hmetis", "hypergraph_to_string", "hypergraph_from_string"]
+
+
+def _open_for(target, mode: str):
+    if isinstance(target, (str, Path)):
+        return open(target, mode, encoding="utf-8"), True
+    return target, False
+
+
+def write_hmetis(hypergraph: Hypergraph, target: str | Path | TextIO) -> None:
+    """Write in hMETIS format (vertices must be ints ``0..n-1``)."""
+    n = hypergraph.num_vertices
+    if set(hypergraph.vertices()) != set(range(n)):
+        raise ValueError("hMETIS output requires vertices labelled 0..n-1")
+    has_net_weights = any(hypergraph.net_weight(e) != 1 for e in hypergraph.nets())
+    has_vertex_weights = not hypergraph.is_uniform_vertex_weight()
+    fmt = (10 if has_vertex_weights else 0) + (1 if has_net_weights else 0)
+
+    stream, owned = _open_for(target, "w")
+    try:
+        header = f"{hypergraph.num_nets} {n}"
+        if fmt:
+            header += f" {fmt}"
+        stream.write(header + "\n")
+        for net in hypergraph.nets():
+            parts = []
+            if has_net_weights:
+                parts.append(str(hypergraph.net_weight(net)))
+            parts.extend(str(p + 1) for p in hypergraph.pins(net))
+            stream.write(" ".join(parts) + "\n")
+        if has_vertex_weights:
+            for v in range(n):
+                stream.write(f"{hypergraph.vertex_weight(v)}\n")
+    finally:
+        if owned:
+            stream.close()
+
+
+def read_hmetis(source: str | Path | TextIO) -> Hypergraph:
+    """Read an hMETIS file; returns a hypergraph on vertices ``0..n-1``."""
+    stream, owned = _open_for(source, "r")
+    try:
+        lines = [
+            line.strip()
+            for line in stream
+            if line.strip() and not line.lstrip().startswith("%")
+        ]
+    finally:
+        if owned:
+            stream.close()
+    if not lines:
+        raise ValueError("empty hMETIS file")
+
+    header = lines[0].split()
+    if len(header) not in (2, 3):
+        raise ValueError(f"malformed hMETIS header: {lines[0]!r}")
+    num_nets, num_vertices = int(header[0]), int(header[1])
+    fmt = int(header[2]) if len(header) == 3 else 0
+    if fmt not in (0, 1, 10, 11):
+        raise ValueError(f"unsupported hMETIS fmt {fmt}")
+    has_net_weights = fmt % 10 == 1
+    has_vertex_weights = fmt >= 10
+
+    expected = 1 + num_nets + (num_vertices if has_vertex_weights else 0)
+    if len(lines) != expected:
+        raise ValueError(f"expected {expected} lines, got {len(lines)}")
+
+    hg = Hypergraph()
+    for v in range(num_vertices):
+        hg.add_vertex(v)
+    for line in lines[1 : 1 + num_nets]:
+        fields = [int(x) for x in line.split()]
+        if has_net_weights:
+            weight, pins = fields[0], fields[1:]
+        else:
+            weight, pins = 1, fields
+        if any(not 1 <= p <= num_vertices for p in pins):
+            raise ValueError(f"pin id out of range in line {line!r}")
+        hg.add_net([p - 1 for p in pins], weight)
+    if has_vertex_weights:
+        for v, line in enumerate(lines[1 + num_nets :]):
+            hg.add_vertex(v, int(line))
+    return hg
+
+
+def hypergraph_to_string(hypergraph: Hypergraph) -> str:
+    buf = _io.StringIO()
+    write_hmetis(hypergraph, buf)
+    return buf.getvalue()
+
+
+def hypergraph_from_string(text: str) -> Hypergraph:
+    return read_hmetis(_io.StringIO(text))

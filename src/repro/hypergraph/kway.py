@@ -1,0 +1,143 @@
+"""K-way netlist partitioning by recursive bisection.
+
+The hypergraph sibling of :mod:`repro.partition.kway`: carve a netlist
+into ``k`` cell-count-balanced blocks minimizing the number of nets that
+span more than one block.  Two standard objectives are reported:
+
+* **cut nets** — nets touching >= 2 blocks (the bisection objective,
+  summed);
+* **connectivity minus one** — ``sum (lambda_n - 1) * w_n`` where
+  ``lambda_n`` is the number of blocks net ``n`` touches (the hMETIS
+  k-way objective; equals cut-nets for 2 blocks).
+
+Uneven splits (k not a power of two) use hypergraph FM with
+``target_weights``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from ..rng import resolve_rng, spawn
+from .fm import hypergraph_fm
+from .hypergraph import Hypergraph
+
+__all__ = ["recursive_kway_hypergraph", "KWayNetlistPartition"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class KWayNetlistPartition:
+    """A k-way partition of a netlist's cells."""
+
+    hypergraph: Hypergraph
+    parts: tuple[frozenset, ...]
+
+    @property
+    def k(self) -> int:
+        return len(self.parts)
+
+    def part_map(self) -> dict[Vertex, int]:
+        mapping: dict[Vertex, int] = {}
+        for i, part in enumerate(self.parts):
+            for v in part:
+                mapping[v] = i
+        return mapping
+
+    @property
+    def cut_nets(self) -> int:
+        """Total weight of nets spanning two or more blocks."""
+        part_of = self.part_map()
+        total = 0
+        for net in self.hypergraph.nets():
+            pins = self.hypergraph.pins(net)
+            first = part_of[pins[0]]
+            if any(part_of[p] != first for p in pins[1:]):
+                total += self.hypergraph.net_weight(net)
+        return total
+
+    @property
+    def connectivity_minus_one(self) -> int:
+        """hMETIS objective: ``sum (lambda - 1) * weight`` over nets."""
+        part_of = self.part_map()
+        total = 0
+        for net in self.hypergraph.nets():
+            blocks = {part_of[p] for p in self.hypergraph.pins(net)}
+            total += (len(blocks) - 1) * self.hypergraph.net_weight(net)
+        return total
+
+    def part_weights(self) -> tuple[int, ...]:
+        return tuple(
+            sum(self.hypergraph.vertex_weight(v) for v in part) for part in self.parts
+        )
+
+    def validate(self) -> None:
+        seen: set[Vertex] = set()
+        for part in self.parts:
+            overlap = seen & part
+            if overlap:
+                raise AssertionError(f"cell in two parts: {next(iter(overlap))!r}")
+            seen |= part
+        missing = set(self.hypergraph.vertices()) - seen
+        if missing:
+            raise AssertionError(f"cells in no part: {next(iter(missing))!r}")
+
+
+def _subnetlist(hypergraph: Hypergraph, cells: set) -> Hypergraph:
+    """The netlist induced on ``cells`` (nets restricted; < 2 pins dropped)."""
+    sub = Hypergraph()
+    for v in cells:
+        sub.add_vertex(v, hypergraph.vertex_weight(v))
+    for net in hypergraph.nets():
+        pins = [p for p in hypergraph.pins(net) if p in cells]
+        if len(pins) >= 2:
+            sub.add_net(pins, hypergraph.net_weight(net))
+    return sub
+
+
+def recursive_kway_hypergraph(
+    hypergraph: Hypergraph,
+    k: int,
+    rng: random.Random | int | None = None,
+) -> KWayNetlistPartition:
+    """Partition a netlist into ``k`` blocks of near-equal cell weight."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if k > hypergraph.num_vertices:
+        raise ValueError(f"cannot cut {hypergraph.num_vertices} cells into {k} blocks")
+    rng = resolve_rng(rng)
+
+    parts: list[frozenset] = []
+
+    def split(cells: set, parts_here: int, salt: int) -> None:
+        if parts_here == 1:
+            parts.append(frozenset(cells))
+            return
+        sub = _subnetlist(hypergraph, cells)
+        k0 = (parts_here + 1) // 2
+        k1 = parts_here - k0
+        total = sub.total_vertex_weight
+        t0 = round(total * k0 / parts_here)
+        child = spawn(rng, salt)
+        if k0 == k1:
+            result = hypergraph_fm(sub, rng=child)
+        else:
+            result = hypergraph_fm(sub, rng=child, target_weights=(t0, total - t0))
+        bisection = result.bisection
+        side0 = {v for v in cells if bisection.side_of(v) == 0}
+        side1 = cells - side0
+        if k0 != k1:
+            w0 = sum(hypergraph.vertex_weight(v) for v in side0)
+            w1 = sum(hypergraph.vertex_weight(v) for v in side1)
+            if (w0 - w1) * (2 * t0 - total) < 0:
+                side0, side1 = side1, side0
+        split(side0, k0, 2 * salt + 1)
+        split(side1, k1, 2 * salt + 2)
+
+    split(set(hypergraph.vertices()), k, 0)
+    partition = KWayNetlistPartition(hypergraph=hypergraph, parts=tuple(parts))
+    partition.validate()
+    return partition

@@ -1,0 +1,66 @@
+"""Bisection algorithms: KL, SA, FM, and the baseline/oracle solvers."""
+
+from .annealing import AnnealingSchedule, BalanceCost, SAResult, simulated_annealing
+from .bisection import (
+    Bisection,
+    cut_weight,
+    default_tolerance,
+    minimum_achievable_deviation,
+    minimum_achievable_imbalance,
+    rebalance,
+    side_weights,
+)
+from .bounds import BisectionBounds, bisection_lower_bound, certify
+from .dfs_cycle import bisect_paths_and_cycles
+from .exact import exact_bisection, exact_bisection_width
+from .mincut import GlobalMinCut, stoer_wagner
+from .fm import FMResult, fiduccia_mattheyses
+from .greedy import GreedyResult, greedy_improvement
+from .io import (
+    partition_from_string,
+    partition_to_string,
+    read_bisection,
+    read_partition,
+    write_partition,
+)
+from .kl import KLResult, kernighan_lin, kl_pass
+from .kway import KWayPartition, recursive_kway
+from .random_init import random_assignment, random_bisection
+
+__all__ = [
+    "Bisection",
+    "cut_weight",
+    "side_weights",
+    "default_tolerance",
+    "minimum_achievable_imbalance",
+    "minimum_achievable_deviation",
+    "rebalance",
+    "random_bisection",
+    "random_assignment",
+    "kernighan_lin",
+    "kl_pass",
+    "KLResult",
+    "simulated_annealing",
+    "SAResult",
+    "AnnealingSchedule",
+    "BalanceCost",
+    "fiduccia_mattheyses",
+    "FMResult",
+    "recursive_kway",
+    "KWayPartition",
+    "greedy_improvement",
+    "GreedyResult",
+    "exact_bisection",
+    "exact_bisection_width",
+    "bisect_paths_and_cycles",
+    "stoer_wagner",
+    "GlobalMinCut",
+    "bisection_lower_bound",
+    "BisectionBounds",
+    "certify",
+    "write_partition",
+    "read_partition",
+    "read_bisection",
+    "partition_to_string",
+    "partition_from_string",
+]

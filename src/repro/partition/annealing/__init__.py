@@ -1,0 +1,13 @@
+"""Simulated annealing bisection: the algorithm, schedules, and cost models."""
+
+from .cost import BalanceCost
+from .sa import SAResult, simulated_annealing
+from .schedule import AnnealingSchedule, estimate_initial_temperature
+
+__all__ = [
+    "simulated_annealing",
+    "SAResult",
+    "AnnealingSchedule",
+    "estimate_initial_temperature",
+    "BalanceCost",
+]

@@ -1,0 +1,114 @@
+"""Annealing schedules: initial temperature, cooling, equilibrium, freezing.
+
+The paper's Figure 1 is the generic loop — "get initial temperature",
+"while not yet frozen", "while not yet in equilibrium", "reduce
+temperature".  This module supplies concrete, tunable policies:
+
+* **initial temperature** — chosen so a target fraction of uphill moves is
+  accepted at the start (Johnson et al.'s recipe), solved by bisection on
+  the empirical uphill deltas of a random-move sample;
+* **equilibrium** — a fixed number of attempted moves per temperature,
+  ``size_factor * |V|`` (temperature length proportional to neighborhood
+  size);
+* **cooling** — geometric, ``T <- cooling_ratio * T``;
+* **frozen** — ``freeze_limit`` consecutive temperatures whose acceptance
+  ratio is below ``min_acceptance`` and which produced no new best-seen
+  cost.
+
+The paper's Section VII warns that "fine tuning of the annealing schedule
+can be a big job"; the ablation bench ``bench_ablation_sa_schedule``
+sweeps these knobs to reproduce that observation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["AnnealingSchedule", "estimate_initial_temperature"]
+
+
+def estimate_initial_temperature(
+    uphill_deltas: Sequence[float],
+    target_acceptance: float = 0.4,
+    tolerance: float = 1e-3,
+) -> float:
+    """Temperature at which the mean uphill acceptance hits ``target_acceptance``.
+
+    Solves ``mean(exp(-delta / T)) = target_acceptance`` over the sampled
+    positive deltas by bisection.  With no uphill samples (e.g. the cost
+    landscape is flat from the start) returns 1.0, which makes the walk
+    maximally free — harmless, since freezing will end it.
+    """
+    deltas = [d for d in uphill_deltas if d > 0]
+    if not deltas:
+        return 1.0
+    if not 0.0 < target_acceptance < 1.0:
+        raise ValueError("target_acceptance must be in (0, 1)")
+
+    def acceptance(temp: float) -> float:
+        return sum(math.exp(-d / temp) for d in deltas) / len(deltas)
+
+    lo, hi = 1e-9, max(deltas)
+    while acceptance(hi) < target_acceptance:
+        hi *= 2.0
+        if hi > 1e12:
+            return hi
+    for _ in range(100):
+        mid = (lo + hi) / 2.0
+        if acceptance(mid) < target_acceptance:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tolerance * hi:
+            break
+    return (lo + hi) / 2.0
+
+
+@dataclass(frozen=True)
+class AnnealingSchedule:
+    """Knobs of the geometric annealing schedule (see module docstring).
+
+    ``max_temperatures`` is a hard safety cap on the number of cooling
+    steps; the normal exit is the freeze test.
+    """
+
+    initial_acceptance: float = 0.4
+    cooling_ratio: float = 0.95
+    size_factor: int = 8
+    min_acceptance: float = 0.02
+    freeze_limit: int = 5
+    max_temperatures: int = 500
+    min_temperature: float = 1e-6
+    cutoff_factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cooling_ratio < 1.0:
+            raise ValueError("cooling_ratio must be in (0, 1)")
+        if self.size_factor < 1:
+            raise ValueError("size_factor must be at least 1")
+        if self.freeze_limit < 1:
+            raise ValueError("freeze_limit must be at least 1")
+        if self.cutoff_factor is not None and not 0.0 < self.cutoff_factor <= 1.0:
+            raise ValueError("cutoff_factor must be in (0, 1]")
+
+    def moves_per_temperature(self, num_vertices: int) -> int:
+        """Temperature length: attempted moves before each cooling step."""
+        return self.size_factor * max(num_vertices, 1)
+
+    def acceptance_cutoff(self, num_vertices: int) -> int | None:
+        """Johnson's cutoff: leave a temperature early after this many
+        *accepted* moves (high temperatures accept nearly everything, so
+        full-length equilibration there is wasted work).  ``None`` when
+        the cutoff is disabled."""
+        if self.cutoff_factor is None:
+            return None
+        return max(1, int(self.cutoff_factor * self.moves_per_temperature(num_vertices)))
+
+    def next_temperature(self, temp: float) -> float:
+        return temp * self.cooling_ratio
+
+    def is_frozen(self, stale_temperatures: int, temp: float) -> bool:
+        """Freeze test given consecutive low-acceptance/no-improvement temps."""
+        return stale_temperatures >= self.freeze_limit or temp < self.min_temperature

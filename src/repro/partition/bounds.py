@@ -1,0 +1,84 @@
+"""Lower bounds on the bisection width.
+
+Heuristics give upper bounds; these give lower bounds, so together they
+bracket the true width.  Three classical bounds, cheapest first:
+
+* **connectivity**: the global minimum cut (Stoer-Wagner,
+  :mod:`repro.partition.mincut`) never exceeds the bisection width;
+* **spectral**: for a graph on ``N`` vertices with Laplacian eigenvalue
+  ``lambda_2``, every bisection cuts at least ``lambda_2 * N / 4`` edges
+  (Fiedler's bound) — requires numpy, silently skipped without it;
+* **trivial**: 0, or 1 for connected graphs.
+
+``certify`` combines them with a heuristic's cut to report the optimality
+gap — e.g. a `Gbreg` bisection at the planted width whose spectral bound
+is close certifies near-optimality without exhaustive search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graphs.graph import Graph
+from ..graphs.traversal import is_connected
+from .mincut import stoer_wagner
+
+__all__ = ["bisection_lower_bound", "BisectionBounds", "certify"]
+
+
+@dataclass(frozen=True)
+class BisectionBounds:
+    """All computed lower bounds plus their maximum."""
+
+    trivial: int
+    connectivity: int
+    spectral: float | None
+
+    @property
+    def best(self) -> float:
+        candidates: list[float] = [self.trivial, self.connectivity]
+        if self.spectral is not None:
+            candidates.append(self.spectral)
+        return max(candidates)
+
+
+def bisection_lower_bound(graph: Graph, use_spectral: bool = True) -> BisectionBounds:
+    """Compute all available lower bounds on ``graph``'s bisection width."""
+    if graph.num_vertices < 2:
+        raise ValueError("need at least two vertices")
+
+    trivial = 1 if is_connected(graph) and graph.num_vertices >= 2 else 0
+    connectivity = stoer_wagner(graph).weight
+
+    spectral = None
+    if use_spectral:
+        try:
+            from .spectral import _fiedler_vector
+
+            fiedler_value, _ = _fiedler_vector(graph, list(graph.vertices()))
+            spectral = max(fiedler_value, 0.0) * graph.num_vertices / 4.0
+        except ImportError:
+            spectral = None
+
+    return BisectionBounds(trivial=trivial, connectivity=connectivity, spectral=spectral)
+
+
+def certify(graph: Graph, found_cut: int, use_spectral: bool = True) -> dict:
+    """Bracket a heuristic cut between the best lower bound and itself.
+
+    Returns a dict with ``lower``, ``upper`` (= found_cut) and ``gap_ratio``
+    (``upper / max(lower, 1)``); a ratio of 1.0 proves optimality.
+    """
+    import math
+
+    bounds = bisection_lower_bound(graph, use_spectral)
+    lower = bounds.best
+    # The width is an integer, so any fractional bound rounds up.
+    integer_lower = math.ceil(lower - 1e-9)
+    return {
+        "lower": lower,
+        "upper": found_cut,
+        "gap_ratio": found_cut / max(lower, 1.0),
+        "optimal": found_cut <= integer_lower,
+        "bounds": bounds,
+    }

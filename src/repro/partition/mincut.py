@@ -1,0 +1,105 @@
+"""Global minimum cut (Stoer-Wagner) — an unconditional bisection lower bound.
+
+The *global* min cut drops the balance constraint, so it can never exceed
+the bisection width; on graphs with planted structure it certifies how
+close a heuristic bisection is to optimal.  Stoer-Wagner computes it
+exactly in O(V^3) time (O(V^2 log V + VE) with heaps, which this
+implementation uses) — comfortably fast for the paper's graph sizes.
+
+Reference: M. Stoer and F. Wagner, "A simple min-cut algorithm",
+J. ACM 44(4), 1997.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+from heapq import heappop, heappush
+
+from ..graphs.graph import Graph
+
+__all__ = ["stoer_wagner", "GlobalMinCut"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class GlobalMinCut:
+    """A global minimum cut: its weight and one side of the partition."""
+
+    weight: int
+    side: frozenset
+
+
+def stoer_wagner(graph: Graph) -> GlobalMinCut:
+    """Exact global minimum edge cut of a connected weighted graph.
+
+    Raises ``ValueError`` on graphs with fewer than 2 vertices.
+    Disconnected graphs return weight 0 with one component as the side.
+    """
+    n = graph.num_vertices
+    if n < 2:
+        raise ValueError("need at least two vertices")
+
+    # Disconnected graphs short-circuit: any component is a 0-cut.
+    from ..graphs.traversal import bfs_order
+
+    first = next(iter(graph.vertices()))
+    reachable = bfs_order(graph, first)
+    if len(reachable) < n:
+        return GlobalMinCut(weight=0, side=frozenset(reachable))
+
+    # Working adjacency on supernodes; merged[x] tracks the original
+    # vertices a supernode represents.
+    adj: dict[Vertex, dict[Vertex, int]] = {
+        v: dict(graph.adjacency(v)) for v in graph.vertices()
+    }
+    merged: dict[Vertex, set] = {v: {v} for v in graph.vertices()}
+
+    best_weight: int | None = None
+    best_side: frozenset = frozenset()
+
+    while len(adj) > 1:
+        # Maximum adjacency (minimum cut phase) ordering via a lazy heap.
+        start = next(iter(adj))
+        in_a = {start}
+        weights = {v: 0 for v in adj}
+        heap: list = []
+        for u, w in adj[start].items():
+            weights[u] += w
+            heappush(heap, (-weights[u], u))
+        order = [start]
+        while len(in_a) < len(adj):
+            while True:
+                neg_w, v = heappop(heap)
+                if v not in in_a and weights[v] == -neg_w:
+                    break
+            in_a.add(v)
+            order.append(v)
+            for u, w in adj[v].items():
+                if u not in in_a:
+                    weights[u] += w
+                    heappush(heap, (-weights[u], u))
+
+        # Cut-of-the-phase: the last-added vertex against the rest.
+        t = order[-1]
+        s = order[-2]
+        phase_weight = sum(adj[t].values())
+        if best_weight is None or phase_weight < best_weight:
+            best_weight = phase_weight
+            best_side = frozenset(merged[t])
+
+        # Merge t into s.
+        for u, w in adj[t].items():
+            if u == s:
+                continue
+            adj[s][u] = adj[s].get(u, 0) + w
+            adj[u][s] = adj[s][u]
+            del adj[u][t]
+        adj[s].pop(t, None)
+        del adj[t]
+        merged[s] |= merged[t]
+        del merged[t]
+
+    assert best_weight is not None
+    return GlobalMinCut(weight=best_weight, side=best_side)

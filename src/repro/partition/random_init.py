@@ -1,0 +1,78 @@
+"""Random initial bisections.
+
+The paper's protocol (Section VI) starts every heuristic "from two
+different randomly generated initial bisections" and reports the best of
+the two.  :func:`random_bisection` is that starting-point generator; the
+best-of-two logic lives in :mod:`repro.bench.runner`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..graphs.graph import Graph
+from ..rng import resolve_rng
+from .bisection import Bisection, default_tolerance, rebalance
+
+__all__ = ["random_bisection", "random_assignment"]
+
+
+def random_assignment(
+    graph: Graph,
+    rng: random.Random | int | None = None,
+    tolerance: int | None = None,
+) -> dict:
+    """A uniformly random balanced vertex -> side dict.
+
+    For plain graphs: shuffle and split in half (exactly balanced, every
+    balanced bisection equally likely).  For weighted (contracted) graphs:
+    shuffle, then assign heaviest-first to the lighter side (randomized
+    LPT, which lands within one lightest-vertex weight of perfect), then
+    repair with :func:`~repro.partition.bisection.rebalance` toward the
+    requested tolerance (default: the minimum achievable imbalance).  If
+    single moves cannot reach the tolerance — possible with very heavy
+    supervertices after deep coarsening — the best reachable split is
+    returned; weight-aware refiners (FM) finish the repair.
+    """
+    rng = resolve_rng(rng)
+    vertices = list(graph.vertices())
+    rng.shuffle(vertices)
+
+    if graph.is_uniform_vertex_weight():
+        half = len(vertices) // 2
+        assignment = {v: 0 for v in vertices[: half + len(vertices) % 2]}
+        assignment.update({v: 1 for v in vertices[half + len(vertices) % 2 :]})
+        # For odd |V| the extra vertex landed on side 0 arbitrarily; that is
+        # within the default tolerance of 1.
+        return assignment
+
+    # Heaviest-first keeps the greedy split tight; the shuffle above makes
+    # the order random among equal weights.
+    vertices.sort(key=graph.vertex_weight, reverse=True)
+    assignment: dict = {}
+    w0 = w1 = 0
+    for v in vertices:
+        wv = graph.vertex_weight(v)
+        if w0 <= w1:
+            assignment[v] = 0
+            w0 += wv
+        else:
+            assignment[v] = 1
+            w1 += wv
+    if tolerance is None:
+        tolerance = default_tolerance(graph)
+    if abs(w0 - w1) > tolerance:
+        try:
+            rebalance(graph, assignment, tolerance, rng)
+        except ValueError:
+            pass  # tolerance unreachable by single moves; refiners repair
+    return assignment
+
+
+def random_bisection(
+    graph: Graph,
+    rng: random.Random | int | None = None,
+    tolerance: int | None = None,
+) -> Bisection:
+    """A uniformly random balanced :class:`Bisection` of ``graph``."""
+    return Bisection(graph, random_assignment(graph, rng, tolerance))

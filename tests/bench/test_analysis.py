@@ -1,0 +1,111 @@
+"""Unit tests for the statistical analysis helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.analysis import (
+    consistency_summary,
+    paired_comparison,
+    summarize,
+    trial_spread,
+)
+from repro.bench.runner import BestOfStarts, RowResult
+
+
+def _cell(*cuts):
+    return BestOfStarts(
+        cut=min(cuts),
+        seconds=1.0,
+        start_cuts=tuple(cuts),
+        start_seconds=tuple(1.0 for _ in cuts),
+    )
+
+
+def _row(label, **cells):
+    return RowResult(label=label, expected_b=None, cells={k: _cell(*v) for k, v in cells.items()})
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1
+        assert s.maximum == 4
+        assert s.median == pytest.approx(2.5)
+
+    def test_odd_median(self):
+        assert summarize([3, 1, 2]).median == 2
+
+    def test_single_value(self):
+        s = summarize([7])
+        assert s.std == 0.0
+        assert s.median == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_bounds(self, values):
+        s = summarize(values)
+        assert s.minimum <= s.median <= s.maximum
+        assert s.minimum <= s.mean <= s.maximum
+        assert s.std >= 0
+
+
+class TestPairedComparison:
+    def test_win_counting(self):
+        rows = [
+            _row("a", kl=(5,), sa=(10,)),   # kl wins
+            _row("b", kl=(10,), sa=(5,)),   # sa wins
+            _row("c", kl=(7,), sa=(7,)),    # tie
+            _row("d", kl=(3,), sa=(9,)),    # kl wins
+        ]
+        cmp = paired_comparison(rows, "kl", "sa")
+        assert (cmp.wins_a, cmp.wins_b, cmp.ties) == (2, 1, 1)
+        assert cmp.decided == 3
+        assert cmp.win_rate_a == pytest.approx(2 / 3)
+
+    def test_noticeable_threshold(self):
+        rows = [_row("a", kl=(5,), sa=(7,))]
+        assert paired_comparison(rows, "kl", "sa", noticeable=3).ties == 1
+        assert paired_comparison(rows, "kl", "sa", noticeable=2).wins_a == 1
+
+    def test_all_ties_win_rate_none(self):
+        rows = [_row("a", kl=(5,), sa=(5,))]
+        assert paired_comparison(rows, "kl", "sa").win_rate_a is None
+
+    def test_mean_cuts(self):
+        rows = [_row("a", kl=(4,), sa=(8,)), _row("b", kl=(6,), sa=(2,))]
+        cmp = paired_comparison(rows, "kl", "sa")
+        assert cmp.mean_cut_a == 5
+        assert cmp.mean_cut_b == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_comparison([], "kl", "sa")
+        with pytest.raises(ValueError):
+            paired_comparison([_row("a", kl=(1,), sa=(1,))], "kl", "sa", noticeable=0)
+
+
+class TestTrialSpread:
+    def test_spread(self):
+        assert trial_spread(_cell(5, 9)) == 4
+        assert trial_spread(_cell(5, 5)) == 0
+        assert trial_spread(_cell(7,)) == 0
+
+    def test_consistency_summary(self):
+        rows = [
+            _row("a", sa=(5, 15)),
+            _row("b", sa=(6, 6)),
+            _row("c", sa=(4, 8)),
+        ]
+        s = consistency_summary(rows, "sa")
+        assert s.maximum == 10
+        assert s.minimum == 0
+        assert s.mean == pytest.approx(14 / 3)

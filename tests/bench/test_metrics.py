@@ -1,0 +1,90 @@
+"""Unit tests for the paper's derived metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.metrics import (
+    cut_improvement_percent,
+    cut_ratio,
+    geometric_mean,
+    relative_speedup_percent,
+)
+
+
+class TestCutImprovement:
+    def test_paper_formula(self):
+        # 90% improvement example: 100 -> 10.
+        assert cut_improvement_percent(100, 10) == pytest.approx(90.0)
+
+    def test_no_change(self):
+        assert cut_improvement_percent(50, 50) == 0.0
+
+    def test_regression_negative(self):
+        assert cut_improvement_percent(10, 20) == pytest.approx(-100.0)
+
+    def test_zero_base_convention(self):
+        assert cut_improvement_percent(0, 0) == 0.0
+        assert cut_improvement_percent(0, 5) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cut_improvement_percent(-1, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=10000),
+        st.integers(min_value=0, max_value=10000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_above_by_100(self, base, compacted):
+        assert cut_improvement_percent(base, compacted) <= 100.0
+
+
+class TestRelativeSpeedup:
+    def test_paper_formula(self):
+        assert relative_speedup_percent(10.0, 4.0) == pytest.approx(60.0)
+
+    def test_slowdown_negative(self):
+        assert relative_speedup_percent(2.0, 3.0) == pytest.approx(-50.0)
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            relative_speedup_percent(0.0, 1.0)
+
+
+class TestCutRatio:
+    def test_exact_match(self):
+        assert cut_ratio(8, 8) == 1.0
+
+    def test_paper_observation_1_range(self):
+        # "twenty to fifty times larger than the expected bisections"
+        assert cut_ratio(200, 8) == 25.0
+
+    def test_zero_expected(self):
+        assert cut_ratio(0, 0) == 0.0
+        assert math.isinf(cut_ratio(3, 0))
+
+
+class TestGeometricMean:
+    def test_uniform(self):
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_shifted_handles_zero(self):
+        assert geometric_mean([0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -0.5])
+
+    def test_between_min_and_max(self):
+        values = [1.0, 4.0, 9.0]
+        gm = geometric_mean(values)
+        assert min(values) <= gm <= max(values)

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import gbreg, grid_graph, ladder_graph
+from repro.graphs.graph import Graph
+from repro.rng import LaggedFibonacciRandom
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; each test gets a fresh seed-0 stream."""
+    return LaggedFibonacciRandom(0)
+
+
+@pytest.fixture
+def triangle():
+    """K3 — the smallest graph with a cycle."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def two_cliques():
+    """Two K4s joined by a single bridge: planted bisection width 1."""
+    edges = []
+    for offset in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                edges.append((offset + i, offset + j))
+    edges.append((0, 4))
+    return Graph.from_edges(edges)
+
+
+@pytest.fixture
+def small_ladder():
+    return ladder_graph(6)
+
+
+@pytest.fixture
+def small_grid():
+    return grid_graph(4, 4)
+
+
+@pytest.fixture
+def gbreg_sample():
+    """A deterministic Gbreg(120, 4, 3) sample with its planted sides."""
+    return gbreg(120, b=4, d=3, rng=11)
+
+
+@pytest.fixture
+def weighted_graph():
+    """A small graph with mixed vertex weights (as after contraction)."""
+    g = Graph()
+    for v, w in [(0, 2), (1, 2), (2, 1), (3, 1), (4, 2), (5, 2)]:
+        g.add_vertex(v, w)
+    for u, v, w in [(0, 1, 2), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 2), (5, 0, 1)]:
+        g.add_edge(u, v, w)
+    return g

@@ -1,0 +1,104 @@
+"""Unit tests for matching policies."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import (
+    heavy_edge_matching,
+    is_matching,
+    is_maximal_matching,
+    random_maximal_matching,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    gnp,
+    ladder_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+
+
+class TestRandomMaximalMatching:
+    def test_valid_and_maximal(self, small_ladder):
+        m = random_maximal_matching(small_ladder, rng=1)
+        assert is_matching(small_ladder, m)
+        assert is_maximal_matching(small_ladder, m)
+
+    def test_empty_graph(self):
+        assert random_maximal_matching(Graph(), rng=1) == []
+
+    def test_edgeless_graph(self):
+        g = Graph.from_edges([], vertices=range(5))
+        assert random_maximal_matching(g, rng=1) == []
+
+    def test_star_matches_one_edge(self):
+        m = random_maximal_matching(star_graph(5), rng=2)
+        assert len(m) == 1
+
+    def test_path_maximal_size(self):
+        # A maximal matching of P_n has between ceil((n-1)/3) and floor(n/2) edges.
+        m = random_maximal_matching(path_graph(10), rng=3)
+        assert 3 <= len(m) <= 5
+
+    def test_perfect_on_complete_graph(self):
+        m = random_maximal_matching(complete_graph(8), rng=4)
+        assert len(m) == 4  # K8 always admits (and greedy finds) a perfect matching
+
+    def test_randomness_varies(self):
+        g = cycle_graph(12)
+        matchings = {frozenset(map(frozenset, random_maximal_matching(g, rng=s))) for s in range(6)}
+        assert len(matchings) > 1
+
+    def test_deterministic_given_seed(self, small_grid):
+        a = random_maximal_matching(small_grid, rng=7)
+        b = random_maximal_matching(small_grid, rng=7)
+        assert a == b
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_always_maximal_on_random_graphs(self, seed):
+        g = gnp(30, 0.15, seed)
+        m = random_maximal_matching(g, seed)
+        assert is_maximal_matching(g, m)
+        # Maximal is at least half of maximum, which is at most n/2.
+        assert len(m) <= g.num_vertices // 2
+
+
+class TestHeavyEdgeMatching:
+    def test_valid_and_maximal(self, small_grid):
+        m = heavy_edge_matching(small_grid, rng=1)
+        assert is_maximal_matching(small_grid, m)
+
+    def test_prefers_heavy_edges(self):
+        g = Graph.from_edges([(0, 1, 10), (1, 2, 1), (2, 3, 10), (3, 0, 1)])
+        m = heavy_edge_matching(g, rng=2)
+        weights = sorted(g.edge_weight(u, v) for u, v in m)
+        assert weights == [10, 10]
+
+    def test_empty_graph(self):
+        assert heavy_edge_matching(Graph(), rng=1) == []
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_always_valid(self, seed):
+        g = gnp(25, 0.2, seed)
+        assert is_maximal_matching(g, heavy_edge_matching(g, seed))
+
+
+class TestValidators:
+    def test_rejects_nonexistent_edge(self, triangle):
+        assert not is_matching(triangle, [(0, 1), (2, 5)])
+
+    def test_rejects_shared_vertex(self, triangle):
+        assert not is_matching(triangle, [(0, 1), (1, 2)])
+
+    def test_non_maximal_detected(self, small_ladder):
+        assert not is_maximal_matching(small_ladder, [])
+
+    def test_empty_matching_of_edgeless_graph_is_maximal(self):
+        g = Graph.from_edges([], vertices=[0, 1])
+        assert is_maximal_matching(g, [])

@@ -1,0 +1,116 @@
+"""Statistical validation of the three random graph models.
+
+The tables' trustworthiness depends on the generators actually sampling
+the distributions the paper describes; these tests check distributional
+properties over many seeds (binomial degree for Gnp, exact planted cut
+for G2set/Gbreg, uniqueness of the planted bisection for Gbreg at small
+b, near-uniform cross-edge placement).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.graphs.generators import g2set, gbreg, gnp, random_tree
+from repro.graphs.properties import degree_histogram
+from repro.partition.bisection import Bisection
+from repro.partition.exact import exact_bisection
+
+
+class TestGnpStatistics:
+    def test_degree_distribution_binomial(self):
+        # Pooled over seeds: mean degree (n-1)p and variance ~ (n-1)p(1-p).
+        n, p = 200, 0.03
+        degrees = []
+        for seed in range(20):
+            g = gnp(n, p, rng=seed)
+            degrees.extend(g.degree(v) for v in g.vertices())
+        mean = sum(degrees) / len(degrees)
+        expected = (n - 1) * p
+        assert abs(mean - expected) < 0.3, (mean, expected)
+        var = sum((d - mean) ** 2 for d in degrees) / len(degrees)
+        expected_var = (n - 1) * p * (1 - p)
+        assert abs(var - expected_var) < 0.25 * expected_var + 0.5
+
+    def test_edge_placement_uniform(self):
+        # Each specific pair appears with probability p across seeds.
+        n, p, trials = 30, 0.2, 300
+        count = sum(gnp(n, p, rng=seed).has_edge(3, 17) for seed in range(trials))
+        # Binomial(300, 0.2): mean 60, sd ~6.9; allow 5 sd.
+        assert abs(count - trials * p) < 5 * math.sqrt(trials * p * (1 - p))
+
+
+class TestG2setStatistics:
+    def test_cross_edge_count_exact_always(self):
+        for seed in range(10):
+            sample = g2set(60, 0.1, 0.1, 12, rng=seed)
+            assert Bisection.from_sides(sample.graph, sample.side_a).cut == 12
+
+    def test_cross_edges_spread_over_pairs(self):
+        # Across seeds, no specific cross pair should dominate.
+        hits = Counter()
+        trials = 200
+        for seed in range(trials):
+            sample = g2set(20, 0.0, 0.0, 5, rng=seed)
+            for u, v, _ in sample.graph.edges():
+                hits[(min(u, v), max(u, v))] += 1
+        # 100 possible cross pairs, 1000 placements: mean 10 per pair.
+        assert max(hits.values()) < 30
+        assert len(hits) > 60  # most pairs seen at least once
+
+    def test_intra_density_matches_p(self):
+        sample = g2set(200, 0.08, 0.02, 0, rng=3)
+        g = sample.graph
+        intra_a = sum(1 for u, v, _ in g.edges() if u in sample.side_a and v in sample.side_a)
+        intra_b = g.num_edges - intra_a
+        pairs = 100 * 99 / 2
+        assert abs(intra_a / pairs - 0.08) < 0.02
+        assert abs(intra_b / pairs - 0.02) < 0.01
+
+
+class TestGbregStatistics:
+    def test_planted_is_optimal_on_small_instances(self):
+        # For small b well below the random-cut scale, the planted
+        # bisection should be the true optimum (this is the model's whole
+        # point); verify exhaustively on tiny instances.
+        hits = 0
+        total = 0
+        for seed in range(6):
+            sample = gbreg(16, 2, 3, rng=seed)
+            optimum = exact_bisection(sample.graph)
+            total += 1
+            if optimum.cut == 2:
+                hits += 1
+            assert optimum.cut <= 2  # planted is always an upper bound
+        assert hits >= total - 1  # w.h.p. the plant is the optimum
+
+    def test_regularity_across_seeds(self):
+        for seed in range(8):
+            sample = gbreg(40, 4, 3, rng=seed)
+            assert degree_histogram(sample.graph) == {3: 40}
+
+    def test_cross_degree_capped(self):
+        sample = gbreg(40, 10, 3, rng=9)
+        cross = Counter()
+        for u, v, _ in sample.graph.edges():
+            if (u in sample.side_a) != (v in sample.side_a):
+                cross[u] += 1
+                cross[v] += 1
+        assert max(cross.values()) <= 3
+
+    def test_different_seeds_different_graphs(self):
+        graphs = {frozenset(frozenset((u, v)) for u, v, _ in gbreg(32, 2, 3, rng=s).graph.edges()) for s in range(6)}
+        assert len(graphs) == 6
+
+
+class TestRandomTreeStatistics:
+    def test_leaf_fraction_near_1_over_e(self):
+        # A uniform random labelled tree has ~n/e leaves in expectation.
+        n = 120
+        leaf_counts = []
+        for seed in range(25):
+            g = random_tree(n, rng=seed)
+            leaf_counts.append(sum(1 for v in g.vertices() if g.degree(v) == 1))
+        mean = sum(leaf_counts) / len(leaf_counts)
+        assert abs(mean - n / math.e) < 5

@@ -1,0 +1,74 @@
+"""Unit tests for the Gnp generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import gnp, gnp_with_degree
+from repro.graphs.properties import is_simple
+from repro.rng import LaggedFibonacciRandom
+
+
+class TestGnpBasics:
+    def test_zero_probability(self):
+        g = gnp(50, 0.0, rng=1)
+        assert g.num_vertices == 50
+        assert g.num_edges == 0
+
+    def test_probability_one_is_complete(self):
+        g = gnp(10, 1.0, rng=1)
+        assert g.num_edges == 45
+
+    def test_empty_and_tiny(self):
+        assert gnp(0, 0.5, rng=1).num_vertices == 0
+        assert gnp(1, 0.5, rng=1).num_edges == 0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            gnp(10, -0.1)
+        with pytest.raises(ValueError):
+            gnp(10, 1.1)
+
+    def test_invalid_vertex_count(self):
+        with pytest.raises(ValueError):
+            gnp(-1, 0.5)
+
+    def test_simple_graph(self):
+        g = gnp(100, 0.05, rng=3)
+        g.validate()
+        assert is_simple(g)
+
+    def test_deterministic_given_seed(self):
+        assert gnp(40, 0.1, rng=9) == gnp(40, 0.1, rng=9)
+
+    def test_different_seeds_differ(self):
+        assert gnp(40, 0.2, rng=1) != gnp(40, 0.2, rng=2)
+
+    def test_accepts_random_instance(self):
+        rng = LaggedFibonacciRandom(5)
+        g = gnp(30, 0.1, rng)
+        assert g.num_vertices == 30
+
+
+class TestGnpStatistics:
+    def test_edge_count_near_expectation(self):
+        n, p = 400, 0.02
+        expected = p * n * (n - 1) / 2
+        counts = [gnp(n, p, rng=s).num_edges for s in range(5)]
+        observed = sum(counts) / len(counts)
+        # 5 samples of ~1600 edges: allow 10% slack (many sigma).
+        assert abs(observed - expected) < 0.10 * expected
+
+    def test_gnp_with_degree(self):
+        g = gnp_with_degree(500, 3.0, rng=4)
+        assert g.average_degree() == pytest.approx(3.0, abs=0.5)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_always_simple_and_consistent(self, seed):
+        g = gnp(60, 0.08, seed)
+        g.validate()
+        assert g.num_vertices == 60
+        assert all(w == 1 for _, _, w in g.edges())

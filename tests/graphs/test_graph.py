@@ -1,0 +1,275 @@
+"""Unit tests for the core Graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.average_degree() == 0.0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_from_edges_pairs(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_edges_with_weights(self):
+        g = Graph.from_edges([(0, 1, 3), (1, 2, 5)])
+        assert g.edge_weight(0, 1) == 3
+        assert g.edge_weight(1, 2) == 5
+        assert g.total_edge_weight == 8
+
+    def test_from_edges_merges_duplicates(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (0, 1, 2)])
+        assert g.num_edges == 1
+        assert g.edge_weight(0, 1) == 4
+
+    def test_from_edges_isolated_vertices(self):
+        g = Graph.from_edges([(0, 1)], vertices=[5, 6])
+        assert g.num_vertices == 4
+        assert g.degree(5) == 0
+
+    def test_hashable_vertex_labels(self):
+        g = Graph.from_edges([("a", "b"), ("b", ("c", 1))])
+        assert g.has_edge("b", ("c", 1))
+        assert g.num_vertices == 3
+
+
+class TestMutation:
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        g.add_vertex(0)
+        g.add_vertex(0)
+        assert g.num_vertices == 1
+
+    def test_add_vertex_updates_weight(self):
+        g = Graph()
+        g.add_vertex(0, 1)
+        g.add_vertex(0, 5)
+        assert g.vertex_weight(0) == 5
+
+    def test_add_vertex_rejects_nonpositive_weight(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_vertex(0, 0)
+        with pytest.raises(ValueError):
+            g.add_vertex(0, -1)
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        assert g.num_vertices == 2
+        assert g.vertex_weight(0) == 1
+
+    def test_add_edge_rejects_self_loop(self):
+        g = Graph()
+        with pytest.raises(ValueError, match="self-loop"):
+            g.add_edge(3, 3)
+
+    def test_add_edge_rejects_duplicate_without_merge(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError, match="already exists"):
+            g.add_edge(1, 0)
+
+    def test_add_edge_merge_accumulates_weight(self):
+        g = Graph()
+        g.add_edge(0, 1, 2)
+        g.add_edge(0, 1, 3, merge=True)
+        assert g.edge_weight(0, 1) == 5
+        assert g.num_edges == 1
+        assert g.total_edge_weight == 5
+
+    def test_add_edge_rejects_nonpositive_weight(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, 0)
+
+    def test_remove_edge(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+        assert g.num_vertices == 3  # endpoints stay
+
+    def test_remove_edge_missing_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 2)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        g.remove_vertex(1)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert g.has_edge(0, 2)
+
+    def test_counters_track_total_weight(self):
+        g = Graph.from_edges([(0, 1, 2), (1, 2, 3)])
+        g.remove_edge(0, 1)
+        assert g.total_edge_weight == 3
+        g.validate()
+
+
+class TestQueries:
+    def test_degree_and_weighted_degree(self):
+        g = Graph.from_edges([(0, 1, 5), (0, 2, 1)])
+        assert g.degree(0) == 2
+        assert g.weighted_degree(0) == 6
+
+    def test_neighbors(self):
+        g = Graph.from_edges([(0, 1), (0, 2)])
+        assert sorted(g.neighbors(0)) == [1, 2]
+        assert sorted(g.neighbor_items(0)) == [(1, 1), (2, 1)]
+
+    def test_edges_yields_each_edge_once(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        edges = list(g.edges())
+        assert len(edges) == 3
+        canonical = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(canonical) == 3
+
+    def test_average_degree(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.average_degree() == pytest.approx(4 / 3)
+
+    def test_contains_iter_len(self):
+        g = Graph.from_edges([(0, 1)])
+        assert 0 in g
+        assert 5 not in g
+        assert len(g) == 2
+        assert set(iter(g)) == {0, 1}
+
+    def test_edge_weight_default(self):
+        g = Graph.from_edges([(0, 1)])
+        assert g.edge_weight(0, 2) == 0
+        assert g.edge_weight(7, 8, default=-1) == -1
+
+    def test_total_vertex_weight(self):
+        g = Graph()
+        g.add_vertex(0, 2)
+        g.add_vertex(1, 3)
+        assert g.total_vertex_weight == 5
+
+    def test_is_uniform_vertex_weight(self):
+        g = Graph.from_edges([(0, 1)])
+        assert g.is_uniform_vertex_weight()
+        g.add_vertex(2, 4)
+        assert not g.is_uniform_vertex_weight()
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph.from_edges([(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.num_vertices == 2
+        assert h.num_vertices == 3
+        assert g == Graph.from_edges([(0, 1)])
+
+    def test_subgraph(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        sub = g.subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2
+        assert not sub.has_edge(0, 3)
+
+    def test_subgraph_missing_vertex_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(KeyError):
+            g.subgraph([0, 9])
+
+    def test_subgraph_preserves_weights(self):
+        g = Graph()
+        g.add_vertex(0, 2)
+        g.add_vertex(1, 3)
+        g.add_edge(0, 1, 7)
+        sub = g.subgraph([0, 1])
+        assert sub.vertex_weight(0) == 2
+        assert sub.edge_weight(0, 1) == 7
+
+    def test_relabeled(self):
+        g = Graph.from_edges([("x", "y"), ("y", "z")])
+        h, mapping = g.relabeled()
+        assert set(h.vertices()) == {0, 1, 2}
+        assert h.num_edges == 2
+        assert h.has_edge(mapping["x"], mapping["y"])
+
+
+class TestEqualityAndRepr:
+    def test_equality(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 2), (0, 1)])
+        assert a == b
+
+    def test_inequality_on_weights(self):
+        a = Graph.from_edges([(0, 1, 1)])
+        b = Graph.from_edges([(0, 1, 2)])
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Graph())
+
+    def test_repr_mentions_size(self):
+        g = Graph.from_edges([(0, 1)])
+        assert "|V|=2" in repr(g)
+        assert "|E|=1" in repr(g)
+
+    def test_validate_passes_on_good_graph(self, two_cliques):
+        two_cliques.validate()
+
+    def test_validate_detects_corruption(self):
+        g = Graph.from_edges([(0, 1)])
+        g._adj[0][1] = 2  # asymmetric tampering
+        with pytest.raises(AssertionError):
+            g.validate()
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    pairs = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+    ).filter(lambda p: p[0] != p[1])
+    return draw(st.lists(pairs, max_size=30))
+
+
+class TestGraphProperties:
+    @given(edge_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_from_edges_invariants(self, edges):
+        g = Graph.from_edges(edges)
+        g.validate()
+        # Handshake lemma (weighted: duplicates merged into weights).
+        assert sum(g.weighted_degree(v) for v in g.vertices()) == 2 * g.total_edge_weight
+        assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges
+        unique = {frozenset(e) for e in edges}
+        assert g.num_edges == len(unique)
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equals_original(self, edges):
+        g = Graph.from_edges(edges)
+        assert g.copy() == g
+
+    @given(edge_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_remove_then_readd_roundtrip(self, edges):
+        g = Graph.from_edges(edges)
+        original = g.copy()
+        for u, v, w in list(g.edges()):
+            g.remove_edge(u, v)
+            g.add_edge(u, v, w)
+        assert g == original

@@ -1,0 +1,113 @@
+"""Unit tests for graph serialization (edge list and DIMACS)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import gnp, grid_graph
+from repro.graphs.graph import Graph
+from repro.graphs.io import (
+    graph_from_string,
+    graph_to_string,
+    read_dimacs,
+    read_edge_list,
+    write_dimacs,
+    write_edge_list,
+)
+
+
+class TestEdgeList:
+    def test_roundtrip_simple(self, tmp_path):
+        g = grid_graph(3, 3)
+        path = tmp_path / "grid.edges"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_roundtrip_weighted_edges(self):
+        g = Graph.from_edges([(0, 1, 3), (1, 2, 1)])
+        assert graph_from_string(graph_to_string(g)) == g
+
+    def test_roundtrip_vertex_weights_and_isolates(self):
+        g = Graph.from_edges([(0, 1)])
+        g.add_vertex(2, 4)
+        g.add_vertex(3)
+        restored = graph_from_string(graph_to_string(g))
+        assert restored == g
+        assert restored.vertex_weight(2) == 4
+
+    def test_string_labels(self):
+        g = Graph.from_edges([("alpha", "beta")])
+        assert graph_from_string(graph_to_string(g)) == g
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# hello\n\n0 1\n# another\n1 2 5\n"
+        g = graph_from_string(text)
+        assert g.num_edges == 2
+        assert g.edge_weight(1, 2) == 5
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            graph_from_string("0 1 2 3\n")
+
+    def test_stream_io(self):
+        g = Graph.from_edges([(0, 1)])
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        buf.seek(0)
+        assert read_edge_list(buf) == g
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        g = grid_graph(3, 4)
+        assert graph_from_string(graph_to_string(g, "dimacs"), "dimacs") == g
+
+    def test_roundtrip_weights(self):
+        g = Graph()
+        g.add_vertex(0, 2)
+        g.add_vertex(1, 1)
+        g.add_edge(0, 1, 7)
+        restored = graph_from_string(graph_to_string(g, "dimacs"), "dimacs")
+        assert restored.vertex_weight(0) == 2
+        assert restored.edge_weight(0, 1) == 7
+
+    def test_relabels_arbitrary_vertices(self):
+        g = Graph.from_edges([("x", "y"), ("y", "z")])
+        restored = graph_from_string(graph_to_string(g, "dimacs"), "dimacs")
+        assert set(restored.vertices()) == {0, 1, 2}
+        assert restored.num_edges == 2
+
+    def test_comment_written(self):
+        buf = io.StringIO()
+        write_dimacs(grid_graph(2, 2), buf, comment="hello\nworld")
+        text = buf.getvalue()
+        assert text.startswith("c hello\nc world\n")
+
+    def test_header_mismatch_raises(self):
+        text = "p edge 2 2\ne 1 2\n"
+        with pytest.raises(ValueError, match="declares"):
+            graph_from_string(text, "dimacs")
+
+    def test_unknown_line_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            graph_from_string("p edge 1 0\nq nonsense\n", "dimacs")
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            graph_to_string(Graph(), "nonsense")
+        with pytest.raises(ValueError):
+            graph_from_string("", "nonsense")
+
+
+class TestRoundtripProperty:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_random_graph_roundtrips_both_formats(self, seed):
+        g = gnp(30, 0.1, seed)
+        assert graph_from_string(graph_to_string(g, "edges")) == g
+        relabeled, _ = g.relabeled()
+        assert graph_from_string(graph_to_string(g, "dimacs"), "dimacs") == relabeled

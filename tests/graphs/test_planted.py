@@ -1,0 +1,80 @@
+"""Unit tests for the planted-bisection model G2set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import g2set, g2set_with_degree
+from repro.partition.bisection import Bisection
+
+
+class TestG2setStructure:
+    def test_sides_and_counts(self):
+        sample = g2set(100, 0.1, 0.1, 20, rng=1)
+        assert len(sample.side_a) == 50
+        assert len(sample.side_b) == 50
+        assert sample.side_a | sample.side_b == set(range(100))
+        assert sample.planted_cut == 20
+
+    def test_cross_edges_exactly_bis(self):
+        sample = g2set(80, 0.05, 0.05, 15, rng=2)
+        cut = Bisection.from_sides(sample.graph, sample.side_a).cut
+        assert cut == 15
+
+    def test_zero_cross_edges(self):
+        sample = g2set(40, 0.2, 0.2, 0, rng=3)
+        assert Bisection.from_sides(sample.graph, sample.side_a).cut == 0
+
+    def test_asymmetric_probabilities(self):
+        sample = g2set(200, 0.3, 0.0, 5, rng=4)
+        g = sample.graph
+        intra_b = sum(
+            1 for u, v, _ in g.edges() if u in sample.side_b and v in sample.side_b
+        )
+        assert intra_b == 0
+        intra_a = sum(
+            1 for u, v, _ in g.edges() if u in sample.side_a and v in sample.side_a
+        )
+        assert intra_a > 0
+
+    def test_simple_and_valid(self):
+        sample = g2set(60, 0.1, 0.15, 25, rng=5)
+        sample.graph.validate()
+        assert all(w == 1 for _, _, w in sample.graph.edges())
+
+    def test_deterministic(self):
+        a = g2set(50, 0.1, 0.1, 7, rng=42)
+        b = g2set(50, 0.1, 0.1, 7, rng=42)
+        assert a.graph == b.graph
+
+
+class TestG2setValidation:
+    def test_odd_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            g2set(51, 0.1, 0.1, 5)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            g2set(50, 1.5, 0.1, 5)
+
+    def test_bis_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            g2set(10, 0.1, 0.1, 26)  # n*n = 25
+
+    def test_bis_max_allowed(self):
+        sample = g2set(6, 0.0, 0.0, 9, rng=1)
+        assert sample.graph.num_edges == 9
+
+
+class TestG2setWithDegree:
+    def test_hits_average_degree(self):
+        sample = g2set_with_degree(600, 3.5, 20, rng=6)
+        assert sample.graph.average_degree() == pytest.approx(3.5, abs=0.5)
+
+    def test_small_degree_feasibility(self):
+        sample = g2set_with_degree(400, 2.5, 8, rng=7)
+        assert sample.planted_cut == 8
+
+    def test_infeasible_degree_rejected(self):
+        with pytest.raises(ValueError):
+            g2set_with_degree(20, 0.1, 50)

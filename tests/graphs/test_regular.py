@@ -1,0 +1,86 @@
+"""Unit tests for the configuration-model degree-sequence sampler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import random_regular_graph, sample_with_degrees
+from repro.graphs.properties import is_regular, is_simple
+
+
+class TestSampleWithDegrees:
+    def test_exact_degrees(self):
+        degrees = {0: 1, 1: 2, 2: 2, 3: 1}
+        g = sample_with_degrees(degrees, rng=1)
+        for v, d in degrees.items():
+            assert g.degree(v) == d
+
+    def test_simple_no_duplicates(self):
+        g = sample_with_degrees({v: 3 for v in range(20)}, rng=2)
+        g.validate()
+        assert is_simple(g)
+
+    def test_zero_degree_vertices_kept(self):
+        g = sample_with_degrees({0: 0, 1: 1, 2: 1}, rng=3)
+        assert g.num_vertices == 3
+        assert g.degree(0) == 0
+
+    def test_odd_sum_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            sample_with_degrees({0: 1, 1: 1, 2: 1})
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            sample_with_degrees({0: -1, 1: 1})
+
+    def test_degree_exceeding_n_rejected(self):
+        # Degree equal to n (only n-1 other vertices) is impossible.
+        with pytest.raises(ValueError):
+            sample_with_degrees({0: 4, 1: 2, 2: 1, 3: 1})
+
+    def test_star_sequence_realizable(self):
+        # n=4 with degree n-1 = 3 is the star K_{1,3} — must succeed.
+        g = sample_with_degrees({0: 3, 1: 1, 2: 1, 3: 1}, rng=1)
+        assert g.degree(0) == 3
+
+    def test_tight_sequence_star(self):
+        # K4's sequence is forced: the only simple realization.
+        g = sample_with_degrees({v: 3 for v in range(4)}, rng=4)
+        assert g.num_edges == 6
+
+    def test_deterministic(self):
+        a = sample_with_degrees({v: 2 for v in range(10)}, rng=9)
+        b = sample_with_degrees({v: 2 for v in range(10)}, rng=9)
+        assert a == b
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_random_seeds_always_simple(self, seed):
+        g = sample_with_degrees({v: 3 for v in range(16)}, seed)
+        g.validate()
+        assert is_regular(g, 3)
+        assert is_simple(g)
+
+
+class TestRandomRegular:
+    def test_regularity(self):
+        g = random_regular_graph(30, 4, rng=1)
+        assert is_regular(g, 4)
+        assert is_simple(g)
+
+    def test_degree_2_is_cycles(self):
+        from repro.graphs.traversal import cycle_decomposition
+
+        g = random_regular_graph(24, 2, rng=2)
+        cycles = cycle_decomposition(g)
+        assert sum(len(c) for c in cycles) == 24
+
+    def test_parity_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(5, 3)
+
+    def test_degree_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(4, 4)

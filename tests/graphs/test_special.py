@@ -1,0 +1,170 @@
+"""Unit tests for the deterministic special-graph families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import (
+    binary_tree,
+    caterpillar_graph,
+    circular_ladder_graph,
+    complete_binary_tree,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_cycles,
+    grid_graph,
+    ladder_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.traversal import connected_components, is_connected
+from repro.partition.exact import exact_bisection_width
+
+
+class TestPathAndCycle:
+    def test_path_counts(self):
+        g = path_graph(5)
+        assert (g.num_vertices, g.num_edges) == (5, 4)
+
+    def test_path_single_vertex(self):
+        g = path_graph(1)
+        assert (g.num_vertices, g.num_edges) == (1, 0)
+
+    def test_path_invalid(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+
+    def test_cycle_counts(self):
+        g = cycle_graph(7)
+        assert (g.num_vertices, g.num_edges) == (7, 7)
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_minimum_size(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+
+class TestLadder:
+    def test_ladder_counts(self):
+        g = ladder_graph(6)
+        assert g.num_vertices == 12
+        assert g.num_edges == 6 + 2 * 5  # rungs + both rails
+
+    def test_ladder_degrees(self):
+        g = ladder_graph(6)
+        degrees = sorted(g.degree(v) for v in g.vertices())
+        assert degrees[:4] == [2, 2, 2, 2]  # four corners
+        assert all(d == 3 for d in degrees[4:])
+
+    def test_ladder_bisection_width_is_2(self):
+        # The classic KL-adversarial fact: the optimal cut is just 2.
+        assert exact_bisection_width(ladder_graph(6)) == 2
+
+    def test_ladder_invalid(self):
+        with pytest.raises(ValueError):
+            ladder_graph(0)
+
+    def test_circular_ladder(self):
+        g = circular_ladder_graph(5)
+        assert g.num_vertices == 10
+        assert all(g.degree(v) == 3 for v in g.vertices())
+
+    def test_circular_ladder_minimum(self):
+        with pytest.raises(ValueError):
+            circular_ladder_graph(2)
+
+
+class TestGrid:
+    def test_grid_counts(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_corner_degrees(self):
+        g = grid_graph(3, 3)
+        assert g.degree(0) == 2
+        assert g.degree(4) == 4  # center
+
+    def test_grid_bisection_width_is_short_side(self):
+        assert exact_bisection_width(grid_graph(4, 4)) == 4
+        assert exact_bisection_width(grid_graph(2, 8)) == 2
+
+    def test_grid_one_by_n_is_path(self):
+        assert grid_graph(1, 5) == path_graph(5)
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestTrees:
+    def test_binary_tree_counts(self):
+        g = binary_tree(10)
+        assert g.num_vertices == 10
+        assert g.num_edges == 9
+        assert is_connected(g)
+
+    def test_complete_binary_tree(self):
+        g = complete_binary_tree(4)
+        assert g.num_vertices == 15
+        assert g.degree(0) == 2
+        leaves = [v for v in g.vertices() if g.degree(v) == 1]
+        assert len(leaves) == 8
+
+    def test_binary_tree_heap_edges(self):
+        g = binary_tree(7)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+        assert g.has_edge(2, 6)
+
+    def test_tree_invalid(self):
+        with pytest.raises(ValueError):
+            binary_tree(0)
+        with pytest.raises(ValueError):
+            complete_binary_tree(0)
+
+    def test_even_binary_tree_bisection_small(self):
+        # Bisection width of a tree is small; for 8 nodes it is 1.
+        assert exact_bisection_width(binary_tree(8)) == 1
+
+
+class TestCycleCollections:
+    def test_disjoint_cycles_structure(self):
+        g = disjoint_cycles([3, 5])
+        assert g.num_vertices == 8
+        assert g.num_edges == 8
+        assert len(connected_components(g)) == 2
+
+    def test_disjoint_cycles_rejects_small(self):
+        with pytest.raises(ValueError):
+            disjoint_cycles([3, 2])
+
+
+class TestDenseFamilies:
+    def test_complete_graph(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert exact_bisection_width(g) == 9  # n^2 with n = 3
+
+    def test_complete_graph_single(self):
+        assert complete_graph(1).num_vertices == 1
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.num_edges == 12
+        assert all(g.degree(v) == 4 for v in range(3))
+
+    def test_star(self):
+        g = star_graph(5)
+        assert g.degree(0) == 5
+        assert g.num_vertices == 6
+
+    def test_caterpillar(self):
+        g = caterpillar_graph(4, 2)
+        assert g.num_vertices == 4 + 8
+        assert g.num_edges == 3 + 8
+        assert is_connected(g)
+
+    def test_caterpillar_no_legs_is_path(self):
+        assert caterpillar_graph(5, 0) == path_graph(5)

@@ -1,0 +1,130 @@
+"""Unit tests for random trees, hypercubes, and tori."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    hypercube_graph,
+    prufer_decode,
+    random_tree,
+    torus_graph,
+)
+from repro.graphs.properties import is_regular
+from repro.graphs.traversal import is_connected
+from repro.partition.exact import exact_bisection_width
+
+
+class TestHypercube:
+    def test_structure(self):
+        g = hypercube_graph(4)
+        assert g.num_vertices == 16
+        assert g.num_edges == 32
+        assert is_regular(g, 4)
+        assert is_connected(g)
+
+    def test_dimension_1(self):
+        g = hypercube_graph(1)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_bisection_width(self):
+        # Cutting one coordinate gives exactly 2^(d-1); it is optimal.
+        assert exact_bisection_width(hypercube_graph(3)) == 4
+        assert exact_bisection_width(hypercube_graph(4)) == 8
+
+    def test_heuristics_find_it(self):
+        from repro.core.pipeline import ckl
+        from repro.partition.kl import kernighan_lin
+
+        g = hypercube_graph(6)
+        best = min(kernighan_lin(g, rng=s).cut for s in range(3))
+        assert best >= 32  # can never beat the true width
+        compacted = min(ckl(g, rng=s).cut for s in range(3))
+        assert compacted >= 32
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hypercube_graph(0)
+
+
+class TestTorus:
+    def test_structure(self):
+        g = torus_graph(4, 5)
+        assert g.num_vertices == 20
+        assert g.num_edges == 40
+        assert is_regular(g, 4)
+        assert is_connected(g)
+
+    def test_bisection_width(self):
+        # 4x4 torus: straight cut crosses 4 wrapped columns twice = 8.
+        assert exact_bisection_width(torus_graph(4, 4)) == 8
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            torus_graph(2, 5)
+
+
+class TestPruferDecode:
+    def test_known_sequence(self):
+        # Prüfer sequence [3, 3] on 4 vertices: star centered at 3.
+        g = prufer_decode([3, 3], 4)
+        assert g.degree(3) == 3
+        assert g.num_edges == 3
+
+    def test_empty_sequence_is_edge(self):
+        g = prufer_decode([], 2)
+        assert g.has_edge(0, 1)
+
+    def test_degree_property(self):
+        # Vertex degree = multiplicity in sequence + 1.
+        seq = [0, 0, 1, 4]
+        g = prufer_decode(seq, 6)
+        assert g.degree(0) == 3
+        assert g.degree(1) == 2
+        assert g.degree(4) == 2
+        assert g.degree(5) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prufer_decode([0], 4)  # wrong length
+        with pytest.raises(ValueError):
+            prufer_decode([9, 0], 4)  # label out of range
+        with pytest.raises(ValueError):
+            prufer_decode([], 1)
+
+
+class TestRandomTree:
+    def test_is_tree(self):
+        g = random_tree(50, rng=1)
+        assert g.num_edges == 49
+        assert is_connected(g)
+
+    def test_tiny(self):
+        assert random_tree(1, rng=1).num_vertices == 1
+        assert random_tree(2, rng=1).num_edges == 1
+
+    def test_deterministic(self):
+        assert random_tree(20, rng=5) == random_tree(20, rng=5)
+
+    def test_varies(self):
+        trees = {tuple(sorted(map(tuple, (sorted((u, v)) for u, v, _ in random_tree(10, rng=s).edges())))) for s in range(6)}
+        assert len(trees) > 1
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=3, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_always_tree(self, seed, n):
+        g = random_tree(n, seed)
+        assert g.num_vertices == n
+        assert g.num_edges == n - 1
+        assert is_connected(g)
+
+    def test_bisection_small(self):
+        # Trees bisect cheaply; heuristics should find small cuts.
+        from repro.core.pipeline import ckl
+
+        g = random_tree(100, rng=7)
+        result = min(ckl(g, rng=s).cut for s in range(2))
+        assert result <= 12

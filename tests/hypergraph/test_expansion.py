@@ -1,0 +1,94 @@
+"""Unit tests for clique and star expansions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.expansion import clique_expansion, star_expansion
+from repro.hypergraph.generators import random_netlist
+from repro.hypergraph.hypergraph import Hypergraph, net_cut_weight
+from repro.partition.bisection import cut_weight
+
+
+class TestCliqueExpansion:
+    def test_triangle_from_3pin_net(self):
+        hg = Hypergraph.from_nets([[0, 1, 2]])
+        g = clique_expansion(hg)
+        assert g.num_edges == 3
+        assert all(w == 1 for _, _, w in g.edges())
+
+    def test_overlapping_nets_merge_weights(self):
+        hg = Hypergraph.from_nets([[0, 1], [0, 1, 2]])
+        g = clique_expansion(hg)
+        assert g.edge_weight(0, 1) == 2
+
+    def test_vertex_weights_carry_over(self):
+        hg = Hypergraph()
+        hg.add_vertex(0, 4)
+        hg.add_net([0, 1])
+        g = clique_expansion(hg)
+        assert g.vertex_weight(0) == 4
+
+    def test_single_pin_net_contributes_nothing(self):
+        hg = Hypergraph.from_nets([[0], [1, 2]])
+        g = clique_expansion(hg)
+        assert g.num_edges == 1
+        assert g.num_vertices == 3
+
+    def test_cut_upper_bounds_net_cut(self):
+        # Every cut net contributes >= 1 clique edge to the edge cut, so
+        # edge cut >= net cut for any assignment.
+        hg = random_netlist(60, rng=1)
+        g = clique_expansion(hg)
+        for seed in range(3):
+            assignment = {v: (v + seed) % 2 for v in hg.vertices()}
+            assert cut_weight(g, assignment) >= net_cut_weight(hg, assignment)
+
+    def test_2pin_hypergraph_is_identity(self):
+        hg = Hypergraph.from_nets([[0, 1], [1, 2]])
+        g = clique_expansion(hg)
+        assignment = {0: 0, 1: 0, 2: 1}
+        assert cut_weight(g, assignment) == net_cut_weight(hg, assignment)
+
+
+class TestStarExpansion:
+    def test_2pin_nets_stay_edges(self):
+        hg = Hypergraph.from_nets([[0, 1]])
+        g, dummies = star_expansion(hg)
+        assert not dummies
+        assert g.has_edge(0, 1)
+
+    def test_wide_net_becomes_star(self):
+        hg = Hypergraph.from_nets([[0, 1, 2, 3]])
+        g, dummies = star_expansion(hg)
+        assert len(dummies) == 1
+        center = next(iter(dummies))
+        assert g.degree(center) == 4
+        assert g.num_edges == 4
+
+    def test_dummy_labels_namespaced(self):
+        hg = Hypergraph.from_nets([[0, 1, 2]])
+        g, dummies = star_expansion(hg)
+        assert all(d[0] == "net" for d in dummies)
+
+    def test_colliding_labels_rejected(self):
+        hg = Hypergraph.from_nets([[("net", 0), ("x", 1), ("y", 2)]])
+        with pytest.raises(ValueError):
+            star_expansion(hg)
+
+    def test_single_pin_ignored(self):
+        hg = Hypergraph.from_nets([[0]])
+        g, dummies = star_expansion(hg)
+        assert g.num_edges == 0
+        assert not dummies
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_star_structure_sound(self, seed):
+        hg = random_netlist(40, rng=seed)
+        g, dummies = star_expansion(hg)
+        g.validate()
+        wide_nets = sum(1 for n in hg.nets() if hg.net_size(n) >= 3)
+        assert len(dummies) == wide_nets

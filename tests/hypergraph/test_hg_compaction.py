@@ -1,0 +1,156 @@
+"""Unit tests for hypergraph compaction, CHFM, and multilevel netlist FM."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.compaction import (
+    compact_hypergraph,
+    compacted_hypergraph_fm,
+    multilevel_hypergraph_fm,
+    random_cell_matching,
+)
+from repro.hypergraph.fm import hypergraph_fm, random_hypergraph_bisection
+from repro.hypergraph.generators import grid_netlist, random_netlist
+from repro.hypergraph.hypergraph import Hypergraph
+
+
+class TestRandomCellMatching:
+    def test_valid_matching(self):
+        nl = random_netlist(60, rng=1)
+        matching = random_cell_matching(nl, rng=2)
+        seen = set()
+        for u, v in matching:
+            assert u != v
+            assert u not in seen and v not in seen
+            seen.add(u)
+            seen.add(v)
+            # Matched cells share at least one net.
+            assert set(nl.nets_of(u)) & set(nl.nets_of(v))
+
+    def test_maximal_under_net_adjacency(self):
+        nl = random_netlist(60, rng=3)
+        matching = random_cell_matching(nl, rng=4)
+        matched = {c for pair in matching for c in pair}
+        # No net may contain two free cells.
+        for net in nl.nets():
+            free = [p for p in nl.pins(net) if p not in matched]
+            assert len(free) <= 1, f"net {net} has free cells {free}"
+
+    def test_isolated_cells_unmatched(self):
+        hg = Hypergraph()
+        hg.add_vertex(0)
+        hg.add_vertex(1)
+        hg.add_net([2, 3])
+        matching = random_cell_matching(hg, rng=5)
+        assert matching == [(2, 3)] or matching == [(3, 2)]
+
+    def test_deterministic(self):
+        nl = random_netlist(40, rng=6)
+        assert random_cell_matching(nl, rng=7) == random_cell_matching(nl, rng=7)
+
+
+class TestCompactHypergraph:
+    def test_counts_and_weights(self):
+        nl = random_netlist(60, rng=8)
+        matching = random_cell_matching(nl, rng=9)
+        comp = compact_hypergraph(nl, matching)
+        assert comp.coarse.num_vertices == nl.num_vertices - len(matching)
+        assert comp.coarse.total_vertex_weight == nl.num_vertices
+        comp.coarse.validate()
+
+    def test_internal_nets_vanish(self):
+        hg = Hypergraph.from_nets([[0, 1], [1, 2]])
+        comp = compact_hypergraph(hg, [(0, 1)])
+        # The net [0,1] collapsed inside the supervertex.
+        assert comp.coarse.num_nets == 1
+
+    def test_identical_nets_merge(self):
+        hg = Hypergraph.from_nets([[0, 1, 2], [0, 3, 2]])
+        comp = compact_hypergraph(hg, [(1, 3)])
+        assert comp.coarse.num_nets == 1
+        assert comp.coarse.net_weight(0) == 2
+
+    def test_projection_preserves_net_cut(self):
+        nl = random_netlist(80, rng=10)
+        comp = compact_hypergraph(nl, random_cell_matching(nl, rng=11))
+        coarse_bisection = random_hypergraph_bisection(comp.coarse, rng=12)
+        projected = comp.project(coarse_bisection)
+        assert projected.cut == coarse_bisection.cut
+        assert projected.imbalance == coarse_bisection.imbalance
+
+    def test_invalid_matching_rejected(self):
+        hg = Hypergraph.from_nets([[0, 1, 2]])
+        with pytest.raises(ValueError):
+            compact_hypergraph(hg, [(0, 1), (1, 2)])
+        with pytest.raises(ValueError):
+            compact_hypergraph(hg, [(0, 9)])
+
+    def test_foreign_projection_rejected(self):
+        hg = Hypergraph.from_nets([[0, 1]])
+        other = Hypergraph.from_nets([[0, 1]])
+        comp = compact_hypergraph(hg, [])
+        with pytest.raises(ValueError):
+            comp.project(random_hypergraph_bisection(other, rng=1))
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_invariants(self, seed):
+        nl = random_netlist(40, rng=seed)
+        comp = compact_hypergraph(nl, random_cell_matching(nl, seed))
+        comp.coarse.validate()
+        assert comp.coarse.total_vertex_weight == nl.num_vertices
+        coarse_bisection = random_hypergraph_bisection(comp.coarse, rng=seed)
+        assert comp.project(coarse_bisection).cut == coarse_bisection.cut
+
+
+class TestCompactedHypergraphFM:
+    def test_balanced_and_consistent(self):
+        nl = random_netlist(100, rng=13)
+        result = compacted_hypergraph_fm(nl, rng=14)
+        assert result.bisection.is_balanced()
+        assert result.cut <= result.projected_cut + result.coarse_result.cut  # sanity
+        assert result.projected_cut == result.coarse_result.cut
+
+    def test_usually_no_worse_than_plain(self):
+        nl = random_netlist(200, clusters=8, global_fraction=0.05, rng=15)
+        plain = min(hypergraph_fm(nl, rng=s).cut for s in range(2))
+        compacted = min(compacted_hypergraph_fm(nl, rng=s).cut for s in range(2))
+        assert compacted <= plain + 5
+
+    def test_deterministic(self):
+        nl = random_netlist(60, rng=16)
+        assert (
+            compacted_hypergraph_fm(nl, rng=17).cut
+            == compacted_hypergraph_fm(nl, rng=17).cut
+        )
+
+
+class TestMultilevelHypergraphFM:
+    def test_bookkeeping(self):
+        nl = random_netlist(150, rng=18)
+        result = multilevel_hypergraph_fm(nl, rng=19, coarsest_size=16)
+        assert result.levels == len(result.level_sizes) == len(result.level_cuts)
+        assert result.level_sizes[-1] == nl.num_vertices
+        assert result.bisection.is_balanced()
+
+    def test_grid_netlist_quality(self):
+        nl = grid_netlist(10, 10)
+        result = multilevel_hypergraph_fm(nl, rng=20)
+        # A straight horizontal split cuts 10 vertical nets + <= 3 buses.
+        assert result.cut <= 26
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            multilevel_hypergraph_fm(Hypergraph())
+
+    def test_invalid_coarsest_size(self):
+        with pytest.raises(ValueError):
+            multilevel_hypergraph_fm(Hypergraph.from_nets([[0, 1]]), coarsest_size=1)
+
+    def test_max_levels(self):
+        nl = random_netlist(120, rng=21)
+        result = multilevel_hypergraph_fm(nl, rng=22, max_levels=1)
+        assert result.levels <= 2

@@ -1,0 +1,94 @@
+"""Unit tests for netlist generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import gnp, grid_graph
+from repro.hypergraph.generators import from_graph, grid_netlist, random_netlist
+from repro.hypergraph.hypergraph import net_cut_weight
+from repro.partition.bisection import cut_weight
+
+
+class TestFromGraph:
+    def test_structure(self):
+        g = grid_graph(3, 3)
+        hg = from_graph(g)
+        assert hg.num_vertices == 9
+        assert hg.num_nets == g.num_edges
+        assert all(hg.net_size(n) == 2 for n in hg.nets())
+
+    def test_weights_preserved(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph()
+        g.add_vertex(0, 2)
+        g.add_vertex(1, 1)
+        g.add_edge(0, 1, 5)
+        hg = from_graph(g)
+        assert hg.vertex_weight(0) == 2
+        assert hg.net_weight(0) == 5
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_net_cut_equals_edge_cut(self, seed):
+        g = gnp(20, 0.2, seed)
+        hg = from_graph(g)
+        assignment = {v: v % 2 for v in g.vertices()}
+        assert net_cut_weight(hg, assignment) == cut_weight(g, assignment)
+
+
+class TestRandomNetlist:
+    def test_counts(self):
+        nl = random_netlist(200, clusters=4, nets_per_cell=1.5, rng=1)
+        assert nl.num_vertices == 200
+        assert nl.num_nets == pytest.approx(300, abs=30)
+        nl.validate()
+
+    def test_net_size_distribution(self):
+        nl = random_netlist(300, two_pin_fraction=0.7, max_net_size=6, rng=2)
+        sizes = [nl.net_size(n) for n in nl.nets()]
+        assert max(sizes) <= 6
+        two_pin = sum(1 for s in sizes if s == 2) / len(sizes)
+        assert 0.5 < two_pin < 0.9
+
+    def test_clustering_is_local(self):
+        # Intra-cluster nets dominate: a cluster-aligned bisection should
+        # cut far fewer nets than a random one.
+        nl = random_netlist(200, clusters=2, global_fraction=0.05, rng=3)
+        aligned = {v: 0 if v < 100 else 1 for v in nl.vertices()}
+        interleaved = {v: v % 2 for v in nl.vertices()}
+        assert net_cut_weight(nl, aligned) < 0.5 * net_cut_weight(nl, interleaved)
+
+    def test_deterministic(self):
+        a = random_netlist(50, rng=4)
+        b = random_netlist(50, rng=4)
+        assert [a.pins(n) for n in a.nets()] == [b.pins(n) for n in b.nets()]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            random_netlist(1)
+        with pytest.raises(ValueError):
+            random_netlist(10, clusters=0)
+        with pytest.raises(ValueError):
+            random_netlist(10, clusters=11)
+
+
+class TestGridNetlist:
+    def test_counts(self):
+        nl = grid_netlist(4, 5, bus_every=2)
+        # 2-pin nets: 4*4 horizontal + 3*5 vertical; buses on rows 0 and 2.
+        assert nl.num_vertices == 20
+        assert nl.num_nets == 16 + 15 + 2
+        nl.validate()
+
+    def test_bus_nets_span_rows(self):
+        nl = grid_netlist(3, 4, bus_every=1)
+        buses = [n for n in nl.nets() if nl.net_size(n) == 4]
+        assert len(buses) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_netlist(0, 3)

@@ -1,0 +1,104 @@
+"""Unit tests for hMETIS serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.generators import grid_netlist, random_netlist
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.io import (
+    hypergraph_from_string,
+    hypergraph_to_string,
+    read_hmetis,
+    write_hmetis,
+)
+
+
+def hypergraphs_equal(a: Hypergraph, b: Hypergraph) -> bool:
+    if a.num_vertices != b.num_vertices or a.num_nets != b.num_nets:
+        return False
+    if any(a.vertex_weight(v) != b.vertex_weight(v) for v in a.vertices()):
+        return False
+    return all(
+        a.pins(n) == b.pins(n) and a.net_weight(n) == b.net_weight(n)
+        for n in a.nets()
+    )
+
+
+class TestRoundtrip:
+    def test_plain(self):
+        hg = grid_netlist(3, 4)
+        assert hypergraphs_equal(hypergraph_from_string(hypergraph_to_string(hg)), hg)
+
+    def test_net_weights(self):
+        hg = Hypergraph()
+        hg.add_net([0, 1], weight=3)
+        hg.add_net([1, 2, 3])
+        restored = hypergraph_from_string(hypergraph_to_string(hg))
+        assert restored.net_weight(0) == 3
+        assert restored.net_weight(1) == 1
+
+    def test_vertex_weights(self):
+        hg = Hypergraph()
+        hg.add_vertex(0, 5)
+        hg.add_net([0, 1])
+        restored = hypergraph_from_string(hypergraph_to_string(hg))
+        assert restored.vertex_weight(0) == 5
+        assert restored.vertex_weight(1) == 1
+
+    def test_both_weights(self):
+        hg = Hypergraph()
+        hg.add_vertex(0, 2)
+        hg.add_net([0, 1], weight=7)
+        text = hypergraph_to_string(hg)
+        assert text.splitlines()[0].endswith("11")
+        restored = hypergraph_from_string(text)
+        assert restored.net_weight(0) == 7
+        assert restored.vertex_weight(0) == 2
+
+    def test_file_roundtrip(self, tmp_path):
+        hg = random_netlist(30, rng=1)
+        path = tmp_path / "netlist.hgr"
+        write_hmetis(hg, path)
+        assert hypergraphs_equal(read_hmetis(path), hg)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_random_netlists_roundtrip(self, seed):
+        hg = random_netlist(25, rng=seed)
+        assert hypergraphs_equal(hypergraph_from_string(hypergraph_to_string(hg)), hg)
+
+
+class TestValidation:
+    def test_non_canonical_labels_rejected(self):
+        hg = Hypergraph()
+        hg.add_net(["a", "b"])
+        with pytest.raises(ValueError, match="0..n-1"):
+            hypergraph_to_string(hg)
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ValueError):
+            hypergraph_from_string("")
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            hypergraph_from_string("1\n1 2\n")
+
+    def test_bad_fmt(self):
+        with pytest.raises(ValueError, match="fmt"):
+            hypergraph_from_string("1 2 7\n1 2\n")
+
+    def test_line_count_mismatch(self):
+        with pytest.raises(ValueError, match="lines"):
+            hypergraph_from_string("2 3\n1 2\n")
+
+    def test_pin_out_of_range(self):
+        with pytest.raises(ValueError, match="range"):
+            hypergraph_from_string("1 2\n1 5\n")
+
+    def test_comments_ignored(self):
+        hg = hypergraph_from_string("% comment\n1 2\n% another\n1 2\n")
+        assert hg.num_nets == 1
+        assert hg.pins(0) == (0, 1)

@@ -1,0 +1,100 @@
+"""Unit tests for k-way netlist partitioning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.fm import hypergraph_fm
+from repro.hypergraph.generators import grid_netlist, random_netlist
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.kway import KWayNetlistPartition, recursive_kway_hypergraph
+
+
+class TestTargetWeightsFM:
+    def test_unequal_split(self):
+        nl = grid_netlist(6, 6)
+        result = hypergraph_fm(nl, rng=1, target_weights=(24, 12))
+        assert sorted(result.bisection.weights) == [12, 24]
+
+    def test_invalid_target_rejected(self):
+        nl = grid_netlist(3, 3)
+        with pytest.raises(ValueError):
+            hypergraph_fm(nl, target_weights=(4, 4))  # sums to 8, total is 9
+        with pytest.raises(ValueError):
+            hypergraph_fm(nl, target_weights=(-1, 10))
+
+    def test_even_target_matches_default(self):
+        nl = random_netlist(60, rng=2)
+        explicit = hypergraph_fm(nl, rng=3, target_weights=(30, 30))
+        assert explicit.bisection.imbalance == 0
+
+
+class TestRecursiveKwayHypergraph:
+    def test_k1(self):
+        nl = random_netlist(40, rng=4)
+        p = recursive_kway_hypergraph(nl, 1, rng=5)
+        assert p.k == 1
+        assert p.cut_nets == 0
+        assert p.connectivity_minus_one == 0
+
+    def test_k4_balanced(self):
+        nl = random_netlist(80, rng=6)
+        p = recursive_kway_hypergraph(nl, 4, rng=7)
+        assert p.part_weights() == (20, 20, 20, 20)
+        p.validate()
+
+    def test_k3_shares(self):
+        nl = random_netlist(60, rng=8)
+        p = recursive_kway_hypergraph(nl, 3, rng=9)
+        assert sorted(p.part_weights()) == [20, 20, 20]
+
+    def test_objectives_relation(self):
+        # connectivity-1 >= cut-nets always; equality iff no net spans 3+.
+        nl = random_netlist(100, rng=10)
+        p = recursive_kway_hypergraph(nl, 4, rng=11)
+        assert p.connectivity_minus_one >= p.cut_nets
+
+    def test_k2_matches_bisection_objective(self):
+        nl = random_netlist(50, rng=12)
+        p = recursive_kway_hypergraph(nl, 2, rng=13)
+        assert p.connectivity_minus_one == p.cut_nets
+
+    def test_invalid_k(self):
+        nl = random_netlist(10, rng=14)
+        with pytest.raises(ValueError):
+            recursive_kway_hypergraph(nl, 0)
+        with pytest.raises(ValueError):
+            recursive_kway_hypergraph(nl, 11)
+
+    def test_deterministic(self):
+        nl = random_netlist(60, rng=15)
+        a = recursive_kway_hypergraph(nl, 4, rng=16)
+        b = recursive_kway_hypergraph(nl, 4, rng=16)
+        assert a.parts == b.parts
+
+    def test_grid_netlist_structure(self):
+        nl = grid_netlist(8, 8, bus_every=100)  # pure 2-pin grid nets
+        p = recursive_kway_hypergraph(nl, 4, rng=17)
+        # 4 blocks of a 64-cell grid: two straight cuts cost 16 nets.
+        assert p.cut_nets <= 40
+
+    def test_validate_detects_corruption(self):
+        nl = random_netlist(20, rng=18)
+        cells = list(nl.vertices())
+        bad = KWayNetlistPartition(
+            nl, (frozenset(cells[:10]), frozenset(cells[5:]))
+        )
+        with pytest.raises(AssertionError):
+            bad.validate()
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=12, deadline=None)
+    def test_invariants(self, seed, k):
+        nl = random_netlist(42, rng=seed)
+        p = recursive_kway_hypergraph(nl, k, rng=seed)
+        p.validate()
+        weights = p.part_weights()
+        assert sum(weights) == nl.total_vertex_weight
+        assert max(weights) - min(weights) <= max(2, k // 2)

@@ -1,0 +1,104 @@
+"""Unit tests for simulated annealing on hypergraphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import gnp
+from repro.hypergraph.fm import hypergraph_fm
+from repro.hypergraph.generators import from_graph, random_netlist
+from repro.hypergraph.hypergraph import Hypergraph, HypergraphBisection, net_cut_weight
+from repro.hypergraph.sa import compacted_hypergraph_sa, hypergraph_sa
+from repro.partition.annealing import AnnealingSchedule, BalanceCost
+
+FAST = AnnealingSchedule(size_factor=2, cooling_ratio=0.9, max_temperatures=60)
+
+
+@pytest.fixture
+def two_modules():
+    hg = Hypergraph()
+    hg.add_net([0, 1, 2, 3])
+    hg.add_net([0, 1])
+    hg.add_net([2, 3])
+    hg.add_net([4, 5, 6, 7])
+    hg.add_net([4, 5])
+    hg.add_net([6, 7])
+    hg.add_net([3, 4])
+    return hg
+
+
+class TestHypergraphSA:
+    def test_finds_bridge(self, two_modules):
+        best = min(hypergraph_sa(two_modules, rng=s, schedule=FAST).cut for s in range(3))
+        assert best == 1
+
+    def test_balanced_and_consistent(self):
+        nl = random_netlist(80, rng=1)
+        result = hypergraph_sa(nl, rng=2, schedule=FAST)
+        b = result.bisection
+        assert b.is_balanced()
+        assert b.cut == net_cut_weight(nl, b.assignment())
+
+    def test_counters_and_trace(self, two_modules):
+        result = hypergraph_sa(two_modules, rng=3, schedule=FAST)
+        assert result.temperatures == len(result.temperature_trace)
+        assert 0 <= result.moves_accepted <= result.moves_attempted
+        assert result.final_temperature < result.initial_temperature
+        assert 0.0 <= result.acceptance_ratio <= 1.0
+
+    def test_deterministic(self, two_modules):
+        a = hypergraph_sa(two_modules, rng=4, schedule=FAST)
+        b = hypergraph_sa(two_modules, rng=4, schedule=FAST)
+        assert a.cut == b.cut
+
+    def test_respects_init(self, two_modules):
+        init = HypergraphBisection.from_sides(two_modules, [0, 1, 2, 3])
+        result = hypergraph_sa(two_modules, init=init, rng=5, schedule=FAST)
+        assert result.initial_cut == 1
+        assert result.cut <= 1
+
+    def test_foreign_init_rejected(self, two_modules):
+        other = Hypergraph.from_nets([[0, 1]])
+        with pytest.raises(ValueError):
+            hypergraph_sa(
+                two_modules, init=HypergraphBisection.from_sides(other, [0])
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            hypergraph_sa(Hypergraph())
+
+    def test_cutoff_supported(self):
+        nl = random_netlist(60, rng=6)
+        schedule = AnnealingSchedule(size_factor=4, cutoff_factor=0.25, max_temperatures=40)
+        result = hypergraph_sa(nl, rng=7, schedule=schedule)
+        assert result.bisection.is_balanced()
+
+    def test_matches_edge_cut_objective_on_2pin(self):
+        g = gnp(16, 0.3, rng=8)
+        hg = from_graph(g)
+        result = hypergraph_sa(hg, rng=9, schedule=FAST)
+        from repro.partition.bisection import cut_weight
+
+        assert result.cut == cut_weight(g, result.bisection.assignment())
+
+    def test_loose_alpha_still_balanced(self, two_modules):
+        result = hypergraph_sa(
+            two_modules, rng=10, schedule=FAST, cost=BalanceCost(alpha=0.001)
+        )
+        assert result.bisection.is_balanced()
+
+
+class TestCompactedHypergraphSA:
+    def test_balanced(self):
+        nl = random_netlist(100, rng=11)
+        result = compacted_hypergraph_sa(nl, rng=12, schedule=FAST)
+        assert result.bisection.is_balanced()
+
+    def test_competitive_with_fm(self):
+        nl = random_netlist(150, clusters=6, global_fraction=0.05, rng=13)
+        sa_cut = min(
+            compacted_hypergraph_sa(nl, rng=s, schedule=FAST).cut for s in range(2)
+        )
+        fm_cut = min(hypergraph_fm(nl, rng=s).cut for s in range(2))
+        assert sa_cut <= 3 * fm_cut + 10

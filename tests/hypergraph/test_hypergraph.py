@@ -1,0 +1,166 @@
+"""Unit tests for the Hypergraph data structure."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph.hypergraph import (
+    Hypergraph,
+    HypergraphBisection,
+    net_cut_weight,
+)
+
+
+@pytest.fixture
+def small_netlist():
+    hg = Hypergraph()
+    hg.add_net([0, 1, 2])       # net 0
+    hg.add_net([2, 3])          # net 1
+    hg.add_net([0, 3], weight=2)  # net 2
+    return hg
+
+
+class TestConstruction:
+    def test_counts(self, small_netlist):
+        assert small_netlist.num_vertices == 4
+        assert small_netlist.num_nets == 3
+        assert small_netlist.num_pins == 7
+
+    def test_add_vertex_weight(self):
+        hg = Hypergraph()
+        hg.add_vertex(0, 3)
+        assert hg.vertex_weight(0) == 3
+        hg.add_vertex(0, 5)
+        assert hg.vertex_weight(0) == 5
+
+    def test_invalid_vertex_weight(self):
+        with pytest.raises(ValueError):
+            Hypergraph().add_vertex(0, 0)
+
+    def test_invalid_net_weight(self):
+        with pytest.raises(ValueError):
+            Hypergraph().add_net([0, 1], weight=0)
+
+    def test_empty_net_rejected(self):
+        with pytest.raises(ValueError):
+            Hypergraph().add_net([])
+
+    def test_duplicate_pins_collapsed(self):
+        hg = Hypergraph()
+        net = hg.add_net([0, 1, 0, 1, 2])
+        assert hg.pins(net) == (0, 1, 2)
+
+    def test_single_pin_net_allowed(self):
+        hg = Hypergraph()
+        hg.add_net([7])
+        assert hg.net_size(0) == 1
+
+    def test_from_nets(self):
+        hg = Hypergraph.from_nets([[0, 1], [1, 2, 3]])
+        assert hg.num_nets == 2
+        assert hg.num_vertices == 4
+
+    def test_net_ids_dense(self, small_netlist):
+        assert list(small_netlist.nets()) == [0, 1, 2]
+
+
+class TestQueries:
+    def test_nets_of_and_degree(self, small_netlist):
+        assert sorted(small_netlist.nets_of(0)) == [0, 2]
+        assert small_netlist.degree(2) == 2
+        assert small_netlist.degree(1) == 1
+
+    def test_weights(self, small_netlist):
+        assert small_netlist.net_weight(2) == 2
+        assert small_netlist.total_net_weight == 4
+        assert small_netlist.total_vertex_weight == 4
+
+    def test_average_net_size(self, small_netlist):
+        assert small_netlist.average_net_size() == pytest.approx(7 / 3)
+        assert Hypergraph().average_net_size() == 0.0
+
+    def test_contains_len_repr(self, small_netlist):
+        assert 0 in small_netlist
+        assert 9 not in small_netlist
+        assert len(small_netlist) == 4
+        assert "|N|=3" in repr(small_netlist)
+
+    def test_validate(self, small_netlist):
+        small_netlist.validate()
+
+    def test_validate_detects_corruption(self, small_netlist):
+        small_netlist._nets_of[0].append(1)  # 0 is not a pin of net 1
+        with pytest.raises(AssertionError):
+            small_netlist.validate()
+
+
+class TestNetCut:
+    def test_uncut(self, small_netlist):
+        assert net_cut_weight(small_netlist, {0: 0, 1: 0, 2: 0, 3: 0}) == 0
+
+    def test_all_cut(self, small_netlist):
+        # Split {0, 2} | {1, 3}: net0 spans, net1 spans, net2 spans.
+        assert net_cut_weight(small_netlist, {0: 0, 1: 1, 2: 0, 3: 1}) == 4
+
+    def test_weighted_net(self, small_netlist):
+        # Split {0} | {1, 2, 3}: net 0 cut (+1), net 1 internal, net 2 cut (+2).
+        assert net_cut_weight(small_netlist, {0: 0, 1: 1, 2: 1, 3: 1}) == 3
+
+    def test_single_pin_net_never_cut(self):
+        hg = Hypergraph()
+        hg.add_net([0])
+        hg.add_net([0, 1])
+        assert net_cut_weight(hg, {0: 0, 1: 1}) == 1
+
+
+class TestHypergraphBisection:
+    def test_basic(self, small_netlist):
+        b = HypergraphBisection.from_sides(small_netlist, [0, 1])
+        assert b.side(0) == frozenset([0, 1])
+        assert b.cut == net_cut_weight(small_netlist, b.assignment())
+        assert b.weights == (2, 2)
+        assert b.imbalance == 0
+        assert b.is_balanced()
+
+    def test_missing_cell_rejected(self, small_netlist):
+        with pytest.raises(ValueError):
+            HypergraphBisection(small_netlist, {0: 0})
+
+    def test_bad_side_rejected(self, small_netlist):
+        with pytest.raises(ValueError):
+            HypergraphBisection(small_netlist, {0: 0, 1: 1, 2: 2, 3: 0})
+
+    def test_weighted_balance(self):
+        hg = Hypergraph()
+        hg.add_vertex(0, 3)
+        hg.add_vertex(1, 1)
+        hg.add_vertex(2, 1)
+        hg.add_vertex(3, 1)
+        hg.add_net([0, 1, 2, 3])
+        b = HypergraphBisection.from_sides(hg, [0])
+        assert b.weights == (3, 3)
+        assert b.is_balanced()
+
+    def test_repr(self, small_netlist):
+        b = HypergraphBisection.from_sides(small_netlist, [0, 1])
+        assert "net_cut=" in repr(b)
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=5),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, nets):
+        hg = Hypergraph.from_nets(nets)
+        hg.validate()
+        assert hg.num_pins == sum(hg.net_size(n) for n in hg.nets())
+        assert hg.num_pins == sum(hg.degree(v) for v in hg.vertices())
+        # Net cut of the all-zero assignment is always 0.
+        assert net_cut_weight(hg, {v: 0 for v in hg.vertices()}) == 0

@@ -1,0 +1,95 @@
+"""Unit tests for bisection-width lower bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    gbreg,
+    gnp,
+    ladder_graph,
+    path_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import is_connected
+from repro.partition.bounds import bisection_lower_bound, certify
+from repro.partition.exact import exact_bisection_width
+
+
+class TestLowerBounds:
+    def test_connected_trivial(self):
+        bounds = bisection_lower_bound(path_graph(6), use_spectral=False)
+        assert bounds.trivial == 1
+
+    def test_disconnected_trivial(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        bounds = bisection_lower_bound(g, use_spectral=False)
+        assert bounds.trivial == 0
+        assert bounds.connectivity == 0
+        assert bounds.best == 0
+
+    def test_cycle_connectivity(self):
+        bounds = bisection_lower_bound(cycle_graph(8), use_spectral=False)
+        assert bounds.connectivity == 2
+        assert bounds.best == 2
+
+    def test_complete_graph_spectral_tight(self):
+        pytest.importorskip("numpy")
+        # K_n: lambda_2 = n, bound = n^2/4 = exact bisection width.
+        bounds = bisection_lower_bound(complete_graph(6))
+        assert bounds.spectral == pytest.approx(9.0, abs=1e-6)
+        assert exact_bisection_width(complete_graph(6)) == 9
+
+    def test_spectral_skippable(self):
+        bounds = bisection_lower_bound(ladder_graph(4), use_spectral=False)
+        assert bounds.spectral is None
+
+    def test_too_small_rejected(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(ValueError):
+            bisection_lower_bound(g)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_bounds_never_exceed_exact_width(self, seed):
+        pytest.importorskip("numpy")
+        g = gnp(10, 0.35, seed)
+        width = exact_bisection_width(g)
+        bounds = bisection_lower_bound(g)
+        assert bounds.best <= width + 1e-9
+
+
+class TestCertify:
+    def test_optimal_certificate_on_complete_graph(self):
+        pytest.importorskip("numpy")
+        g = complete_graph(6)
+        report = certify(g, 9)
+        assert report["optimal"]
+        assert report["gap_ratio"] == pytest.approx(1.0)
+
+    def test_gap_reported(self):
+        g = cycle_graph(8)
+        report = certify(g, 4, use_spectral=False)
+        assert report["lower"] == 2
+        assert report["upper"] == 4
+        assert report["gap_ratio"] == pytest.approx(2.0)
+        assert not report["optimal"]
+
+    def test_cycle_cut_2_is_optimal(self):
+        report = certify(cycle_graph(10), 2, use_spectral=False)
+        assert report["optimal"]
+
+    def test_gbreg_heuristic_certification(self):
+        pytest.importorskip("numpy")
+        from repro.core.pipeline import ckl
+
+        sample = gbreg(100, 4, 3, rng=5)
+        result = ckl(sample.graph, rng=6)
+        report = certify(sample.graph, result.cut)
+        assert report["upper"] == result.cut
+        assert report["lower"] <= sample.planted_width

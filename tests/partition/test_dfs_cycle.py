@@ -1,0 +1,111 @@
+"""Unit tests for the exact max-degree-2 bisection solver."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import cycle_graph, disjoint_cycles, gbreg, path_graph
+from repro.graphs.graph import Graph
+from repro.partition.dfs_cycle import bisect_paths_and_cycles
+from repro.partition.exact import exact_bisection_width
+
+
+class TestCycleSolver:
+    def test_single_even_cycle(self):
+        b = bisect_paths_and_cycles(cycle_graph(10))
+        assert b.cut == 2
+        assert b.is_balanced()
+
+    def test_single_path(self):
+        b = bisect_paths_and_cycles(path_graph(10))
+        assert b.cut == 1
+        assert b.is_balanced()
+
+    def test_two_equal_cycles_cut_zero(self):
+        b = bisect_paths_and_cycles(disjoint_cycles([6, 6]))
+        assert b.cut == 0
+        assert b.is_balanced()
+
+    def test_unequal_cycles_need_split(self):
+        # Sizes 3 and 9: no whole-component half, must split the 9-cycle.
+        b = bisect_paths_and_cycles(disjoint_cycles([3, 9]))
+        assert b.cut == 2
+        assert b.is_balanced()
+
+    def test_prefers_path_split(self):
+        # Cycle 4 + path 4 with half = 4 solvable whole; make it unsolvable:
+        # cycle 4 + path 6 (n=10, half=5): splitting the path costs 1.
+        g = disjoint_cycles([4])
+        offset = 4
+        for i in range(5):
+            g.add_edge(offset + i, offset + i + 1)
+        b = bisect_paths_and_cycles(g)
+        assert b.cut == 1
+        assert b.is_balanced()
+
+    def test_isolated_vertices(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2, 3])
+        b = bisect_paths_and_cycles(g)
+        assert b.cut == 0
+        assert b.is_balanced()
+
+    def test_odd_total(self):
+        b = bisect_paths_and_cycles(disjoint_cycles([3, 4]))
+        assert b.cut <= 2
+        assert abs(b.sizes[0] - b.sizes[1]) == 1
+
+    def test_rejects_high_degree(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (0, 3)])
+        with pytest.raises(ValueError, match="degree"):
+            bisect_paths_and_cycles(g)
+
+    def test_rejects_weighted_vertices(self):
+        g = Graph()
+        g.add_vertex(0, 2)
+        g.add_vertex(1, 1)
+        with pytest.raises(ValueError, match="unit"):
+            bisect_paths_and_cycles(g)
+
+    def test_rejects_tiny(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(ValueError):
+            bisect_paths_and_cycles(g)
+
+
+class TestOptimality:
+    @pytest.mark.parametrize(
+        "sizes",
+        [[4, 4], [3, 5], [6], [3, 3, 4], [5, 7], [3, 4, 5]],
+    )
+    def test_matches_exhaustive_search(self, sizes):
+        g = disjoint_cycles(sizes)
+        assert bisect_paths_and_cycles(g).cut == exact_bisection_width(g)
+
+    def test_gbreg_degree2(self):
+        # Paper Section VI: Gbreg degree-2 graphs are chordless cycle
+        # unions with optimal bisection <= 2.
+        sample = gbreg(60, b=2, d=2, rng=5)
+        b = bisect_paths_and_cycles(sample.graph)
+        assert b.cut <= 2
+        assert b.is_balanced()
+
+    @given(
+        st.lists(st.integers(min_value=3, max_value=9), min_size=1, max_size=5),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_always_at_most_2_and_balanced(self, cycle_sizes, extra_paths):
+        g = disjoint_cycles(cycle_sizes)
+        offset = sum(cycle_sizes)
+        for p in range(extra_paths):
+            g.add_edge(offset, offset + 1)
+            g.add_edge(offset + 1, offset + 2)
+            offset += 3
+        if g.num_vertices < 2:
+            return
+        b = bisect_paths_and_cycles(g)
+        assert b.cut <= 2
+        assert abs(b.sizes[0] - b.sizes[1]) <= g.num_vertices % 2

@@ -1,0 +1,98 @@
+"""Unit tests for the exhaustive exact bisection oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import (
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    ladder_graph,
+    path_graph,
+)
+from repro.graphs.graph import Graph
+from repro.partition.exact import exact_bisection, exact_bisection_width
+
+
+class TestKnownOptima:
+    def test_path(self):
+        assert exact_bisection_width(path_graph(8)) == 1
+
+    def test_even_cycle(self):
+        assert exact_bisection_width(cycle_graph(8)) == 2
+
+    def test_odd_cycle(self):
+        assert exact_bisection_width(cycle_graph(7)) == 2
+
+    def test_ladder_even_rungs(self):
+        assert exact_bisection_width(ladder_graph(4)) == 2
+
+    def test_ladder_odd_rungs(self):
+        # With an odd rung count no straight between-rung cut is balanced,
+        # so one rung must also be cut: width 3.
+        assert exact_bisection_width(ladder_graph(5)) == 3
+
+    def test_grid(self):
+        assert exact_bisection_width(grid_graph(4, 4)) == 4
+
+    def test_complete_graph(self):
+        assert exact_bisection_width(complete_graph(6)) == 9
+
+    def test_complete_bipartite(self):
+        # K(3,3) balanced split is 2+1 / 1+2 across the parts: cut 5.
+        assert exact_bisection_width(complete_bipartite_graph(3, 3)) == 5
+
+    def test_disconnected_zero(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert exact_bisection_width(g) == 0
+
+
+class TestExactBisection:
+    def test_result_is_balanced(self):
+        b = exact_bisection(ladder_graph(4))
+        assert b.is_balanced()
+
+    def test_odd_vertices_tolerance(self):
+        b = exact_bisection(path_graph(7))
+        assert abs(b.sizes[0] - b.sizes[1]) == 1
+
+    def test_weighted_graph(self):
+        g = Graph()
+        g.add_vertex(0, 3)
+        g.add_vertex(1, 1)
+        g.add_vertex(2, 1)
+        g.add_vertex(3, 1)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        b = exact_bisection(g)
+        assert b.imbalance == 0  # 3 vs 1+1+1
+        assert b.cut == 1
+
+    def test_explicit_tolerance(self):
+        g = path_graph(6)
+        b = exact_bisection(g, balance_tolerance=2)
+        assert b.cut <= 1
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError, match="limited"):
+            exact_bisection(grid_graph(6, 6))
+
+    def test_too_small_rejected(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(ValueError):
+            exact_bisection(g)
+
+    def test_infeasible_tolerance_rejected(self):
+        g = Graph()
+        g.add_vertex(0, 10)
+        g.add_vertex(1, 1)
+        with pytest.raises(ValueError, match="no bisection"):
+            exact_bisection(g, balance_tolerance=0)
+
+    def test_two_vertices(self):
+        g = Graph.from_edges([(0, 1)])
+        assert exact_bisection_width(g) == 1

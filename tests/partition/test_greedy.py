@@ -1,0 +1,59 @@
+"""Unit tests for the greedy iterative-improvement baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import gnp, grid_graph
+from repro.graphs.graph import Graph
+from repro.partition.bisection import Bisection, cut_weight
+from repro.partition.greedy import greedy_improvement
+
+
+class TestGreedy:
+    def test_two_cliques(self, two_cliques):
+        result = greedy_improvement(two_cliques, rng=1)
+        assert result.cut <= result.initial_cut
+        assert result.bisection.is_balanced()
+
+    def test_stops_at_local_optimum(self, small_grid):
+        result = greedy_improvement(small_grid, rng=2)
+        # Rerunning from the local optimum must change nothing.
+        again = greedy_improvement(small_grid, init=result.bisection)
+        assert again.swaps == 0
+        assert again.cut == result.cut
+
+    def test_respects_init(self, two_cliques):
+        init = Bisection.from_sides(two_cliques, [0, 1, 2, 3])
+        result = greedy_improvement(two_cliques, init=init)
+        assert result.cut == 1
+        assert result.swaps == 0
+
+    def test_max_swaps(self):
+        g = gnp(30, 0.3, rng=5)
+        result = greedy_improvement(g, rng=3, max_swaps=2)
+        assert result.swaps <= 2
+
+    def test_cut_consistent(self, gbreg_sample):
+        result = greedy_improvement(gbreg_sample.graph, rng=4)
+        assert result.cut == cut_weight(
+            gbreg_sample.graph, result.bisection.assignment()
+        )
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_improvement(Graph())
+
+    def test_monotone_descent(self, small_grid):
+        # Every accepted swap strictly reduces the cut, so total reduction
+        # is at least the swap count.
+        result = greedy_improvement(small_grid, rng=6)
+        assert result.initial_cut - result.cut >= result.swaps
+
+    def test_weighted_balance_preserved(self, weighted_graph):
+        result = greedy_improvement(weighted_graph, rng=7)
+        before = Bisection(
+            weighted_graph,
+            greedy_improvement(weighted_graph, rng=7).bisection.assignment(),
+        )
+        assert result.bisection.imbalance == before.imbalance

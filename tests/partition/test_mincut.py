@@ -1,0 +1,124 @@
+"""Unit tests for the Stoer-Wagner global minimum cut."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    gbreg,
+    gnp,
+    grid_graph,
+    ladder_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import is_connected
+from repro.partition.exact import exact_bisection_width
+from repro.partition.mincut import stoer_wagner
+
+
+def brute_force_min_cut(graph: Graph) -> int:
+    """Exhaustive global min cut over all nonempty proper subsets."""
+    from itertools import combinations
+
+    vertices = list(graph.vertices())
+    first, rest = vertices[0], vertices[1:]
+    best = None
+    for r in range(len(rest) + 1):
+        for chosen in combinations(rest, r):
+            side = {first, *chosen}
+            if len(side) == len(vertices):
+                continue
+            cut = sum(
+                w for u, v, w in graph.edges() if (u in side) != (v in side)
+            )
+            if best is None or cut < best:
+                best = cut
+    return best
+
+
+class TestKnownCuts:
+    def test_path(self):
+        assert stoer_wagner(path_graph(6)).weight == 1
+
+    def test_cycle(self):
+        assert stoer_wagner(cycle_graph(7)).weight == 2
+
+    def test_complete(self):
+        assert stoer_wagner(complete_graph(5)).weight == 4
+
+    def test_star(self):
+        assert stoer_wagner(star_graph(6)).weight == 1
+
+    def test_ladder(self):
+        assert stoer_wagner(ladder_graph(5)).weight == 2
+
+    def test_grid(self):
+        assert stoer_wagner(grid_graph(4, 4)).weight == 2  # corner
+
+    def test_weighted_bridge(self):
+        g = Graph.from_edges([(0, 1, 5), (1, 2, 1), (2, 3, 5)])
+        result = stoer_wagner(g)
+        assert result.weight == 1
+        assert result.side in (frozenset([0, 1]), frozenset([2, 3]))
+
+    def test_two_triangles_bridge(self):
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+        )
+        result = stoer_wagner(g)
+        assert result.weight == 1
+
+    def test_disconnected_zero(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        result = stoer_wagner(g)
+        assert result.weight == 0
+        assert result.side in (frozenset([0, 1]), frozenset([2, 3]))
+
+    def test_two_vertices(self):
+        g = Graph.from_edges([(0, 1, 3)])
+        assert stoer_wagner(g).weight == 3
+
+    def test_too_small_rejected(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(ValueError):
+            stoer_wagner(g)
+
+
+class TestSideValidity:
+    def test_side_cut_matches_weight(self):
+        g = gnp(20, 0.3, rng=1)
+        result = stoer_wagner(g)
+        cut = sum(
+            w for u, v, w in g.edges() if (u in result.side) != (v in result.side)
+        )
+        assert cut == result.weight
+        assert 0 < len(result.side) < g.num_vertices
+
+    def test_gbreg_planted_bound(self):
+        # min cut <= bisection width <= planted width, always.
+        sample = gbreg(80, 4, 3, rng=2)
+        assert stoer_wagner(sample.graph).weight <= sample.planted_width
+
+
+class TestAgainstBruteForce:
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_exhaustive(self, seed):
+        g = gnp(9, 0.4, seed)
+        result = stoer_wagner(g)
+        assert result.weight == brute_force_min_cut(g)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15, deadline=None)
+    def test_never_exceeds_bisection_width(self, seed):
+        g = gnp(10, 0.35, seed)
+        if not is_connected(g):
+            return
+        assert stoer_wagner(g).weight <= exact_bisection_width(g)

@@ -1,0 +1,93 @@
+"""Unit tests for annealing schedules and initial-temperature estimation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.annealing.schedule import (
+    AnnealingSchedule,
+    estimate_initial_temperature,
+)
+
+
+class TestInitialTemperature:
+    def test_hits_target_acceptance(self):
+        deltas = [1.0, 2.0, 3.0, 4.0]
+        for target in (0.2, 0.4, 0.8):
+            temp = estimate_initial_temperature(deltas, target)
+            acceptance = sum(math.exp(-d / temp) for d in deltas) / len(deltas)
+            assert acceptance == pytest.approx(target, abs=0.01)
+
+    def test_monotone_in_target(self):
+        deltas = [1.0, 5.0, 9.0]
+        t_low = estimate_initial_temperature(deltas, 0.2)
+        t_high = estimate_initial_temperature(deltas, 0.8)
+        assert t_high > t_low
+
+    def test_no_uphill_samples(self):
+        assert estimate_initial_temperature([]) == 1.0
+        assert estimate_initial_temperature([-1.0, 0.0]) == 1.0
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            estimate_initial_temperature([1.0], 0.0)
+        with pytest.raises(ValueError):
+            estimate_initial_temperature([1.0], 1.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_positive_and_accurate(self, deltas, target):
+        temp = estimate_initial_temperature(deltas, target)
+        assert temp > 0
+        acceptance = sum(math.exp(-d / temp) for d in deltas) / len(deltas)
+        assert acceptance == pytest.approx(target, abs=0.02)
+
+
+class TestSchedule:
+    def test_defaults_valid(self):
+        schedule = AnnealingSchedule()
+        assert 0 < schedule.cooling_ratio < 1
+
+    def test_moves_per_temperature(self):
+        schedule = AnnealingSchedule(size_factor=5)
+        assert schedule.moves_per_temperature(100) == 500
+        assert schedule.moves_per_temperature(0) == 5  # clamps to >= 1 vertex
+
+    def test_next_temperature(self):
+        schedule = AnnealingSchedule(cooling_ratio=0.5)
+        assert schedule.next_temperature(8.0) == 4.0
+
+    def test_is_frozen_by_staleness(self):
+        schedule = AnnealingSchedule(freeze_limit=3)
+        assert not schedule.is_frozen(2, 1.0)
+        assert schedule.is_frozen(3, 1.0)
+
+    def test_is_frozen_by_temperature_floor(self):
+        schedule = AnnealingSchedule(min_temperature=1e-3)
+        assert schedule.is_frozen(0, 1e-4)
+
+    def test_invalid_cooling_ratio(self):
+        with pytest.raises(ValueError):
+            AnnealingSchedule(cooling_ratio=1.0)
+        with pytest.raises(ValueError):
+            AnnealingSchedule(cooling_ratio=0.0)
+
+    def test_invalid_size_factor(self):
+        with pytest.raises(ValueError):
+            AnnealingSchedule(size_factor=0)
+
+    def test_invalid_freeze_limit(self):
+        with pytest.raises(ValueError):
+            AnnealingSchedule(freeze_limit=0)
+
+    def test_frozen_immutable(self):
+        schedule = AnnealingSchedule()
+        with pytest.raises(AttributeError):
+            schedule.cooling_ratio = 0.5

@@ -1,0 +1,75 @@
+"""Unit tests for the spectral bisection baseline (requires numpy)."""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro.graphs.generators import gbreg, grid_graph, ladder_graph, path_graph
+from repro.graphs.graph import Graph
+from repro.partition.spectral import spectral_bisection
+
+
+class TestSpectral:
+    def test_two_cliques(self, two_cliques):
+        result = spectral_bisection(two_cliques)
+        assert result.cut == 1
+        assert result.bisection.is_balanced()
+
+    def test_path_optimal(self):
+        result = spectral_bisection(path_graph(10))
+        assert result.cut == 1
+
+    def test_ladder_near_optimal(self):
+        # Spectral handles ladders well (global view), unlike plain KL.
+        result = spectral_bisection(ladder_graph(10))
+        assert result.cut == 2
+
+    def test_rectangular_grid(self):
+        # A non-square grid gives an untied Fiedler direction along the
+        # long axis, so the median split is the optimal straight cut.
+        result = spectral_bisection(grid_graph(4, 6))
+        assert result.cut == 4
+
+    def test_square_grid_bounded(self):
+        # Square grids have a degenerate Fiedler eigenspace; the split can
+        # come out diagonal, but must stay within 2x the straight cut.
+        result = spectral_bisection(grid_graph(4, 4))
+        assert result.cut <= 8
+
+    def test_fiedler_value_positive_for_connected(self):
+        result = spectral_bisection(path_graph(8))
+        assert result.fiedler_value > 0
+
+    def test_fiedler_value_zero_for_disconnected(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        result = spectral_bisection(g)
+        assert result.fiedler_value == pytest.approx(0.0, abs=1e-8)
+        assert result.cut == 0
+
+    def test_gbreg_planted(self):
+        sample = gbreg(100, b=2, d=3, rng=3)
+        result = spectral_bisection(sample.graph)
+        assert result.cut <= 8  # near the planted width
+
+    def test_large_graph_sparse_path(self):
+        # Exercises the scipy eigsh branch (> _DENSE_LIMIT vertices).
+        result = spectral_bisection(ladder_graph(400))
+        assert result.cut <= 6
+        assert result.bisection.is_balanced()
+
+    def test_deterministic(self, two_cliques):
+        a = spectral_bisection(two_cliques)
+        b = spectral_bisection(two_cliques)
+        assert a.bisection == b.bisection
+
+    def test_tiny_rejected(self):
+        g = Graph()
+        g.add_vertex(0)
+        with pytest.raises(ValueError):
+            spectral_bisection(g)
+
+    def test_weighted_vertices_balanced(self, weighted_graph):
+        result = spectral_bisection(weighted_graph)
+        assert result.bisection.imbalance == 0

@@ -1,0 +1,26 @@
+"""Execute the doctest examples embedded in public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.bench.ascii
+import repro.graphs.graph
+import repro.hypergraph.hypergraph
+import repro.partition.bisection
+
+MODULES = [
+    repro.graphs.graph,
+    repro.partition.bisection,
+    repro.hypergraph.hypergraph,
+    repro.bench.ascii,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, tests = doctest.testmod(module, verbose=False)
+    assert tests > 0, f"{module.__name__} has no doctests (update MODULES)"
+    assert failures == 0

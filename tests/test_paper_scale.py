@@ -1,0 +1,40 @@
+"""Opt-in paper-scale shape checks (run with ``REPRO_SCALE=paper``).
+
+Skipped by default — pure-Python KL at 2000 vertices takes a second or
+two per run, so these only run when the environment explicitly asks for
+the paper tier.  They assert the paper's headline shapes at the paper's
+smaller table size (2n = 2000).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.pipeline import ckl
+from repro.graphs.generators import gbreg
+from repro.partition.kl import kernighan_lin
+
+paper_scale = pytest.mark.skipif(
+    os.environ.get("REPRO_SCALE", "").lower() != "paper",
+    reason="paper-scale checks run only with REPRO_SCALE=paper",
+)
+
+
+@paper_scale
+class TestPaperScaleHeadline:
+    def test_gbreg_2000_d3_compaction_recovers_planted(self):
+        sample = gbreg(2000, 16, 3, rng=42)
+        plain = min(kernighan_lin(sample.graph, rng=s).cut for s in range(2))
+        compacted = min(ckl(sample.graph, rng=s).cut for s in range(2))
+        # Observation 1: plain KL misses by a large factor at degree 3.
+        assert plain >= 5 * sample.planted_width
+        # Observation 2: >= 90% improvement at paper scale.
+        assert compacted <= 0.1 * plain
+        assert compacted <= sample.planted_width + 8
+
+    def test_gbreg_2000_d4_planted_found(self):
+        sample = gbreg(2000, 16, 4, rng=43)
+        plain = min(kernighan_lin(sample.graph, rng=s).cut for s in range(2))
+        assert plain <= sample.planted_width + 4
