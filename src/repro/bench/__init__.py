@@ -35,6 +35,10 @@ from .workloads import (
     gnp_cases,
     grid_cases,
     ladder_cases,
+    netlist_algorithm_specs,
+    netlist_algorithms,
+    netlist_cases,
+    standard_algorithm_specs,
     standard_algorithms,
 )
 
@@ -56,6 +60,10 @@ __all__ = [
     "WorkloadCase",
     "current_scale",
     "standard_algorithms",
+    "standard_algorithm_specs",
+    "netlist_algorithms",
+    "netlist_algorithm_specs",
+    "netlist_cases",
     "gbreg_cases",
     "g2set_cases",
     "gnp_cases",

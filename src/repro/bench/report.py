@@ -4,14 +4,20 @@
 renders all tables (plus the Observation summaries) into one markdown
 document — the programmatic way to regenerate the data behind
 EXPERIMENTS.md.  Exposed on the CLI as ``repro-bisect report``.
+
+All sweeps execute through the :mod:`repro.engine` job engine; pass an
+``engine`` configured with ``jobs=N`` to fan cells out across worker
+processes and/or a result cache to make regeneration near-free.  The
+report ends with a telemetry summary of the engine run.
 """
 
 from __future__ import annotations
 
 import random
-import time
 from statistics import mean
 
+from ..engine.executor import Engine
+from ..engine.telemetry import Timer
 from ..rng import resolve_rng, spawn
 from .metrics import cut_improvement_percent, cut_ratio
 from .runner import run_workload
@@ -24,9 +30,9 @@ from .workloads import (
     gnp_cases,
     grid_cases,
     ladder_cases,
-    netlist_algorithms,
+    netlist_algorithm_specs,
     netlist_cases,
-    standard_algorithms,
+    standard_algorithm_specs,
 )
 
 __all__ = ["generate_report"]
@@ -40,10 +46,12 @@ def generate_report(
     scale: Scale,
     rng: random.Random | int | None = None,
     include_sa: bool = True,
+    engine: Engine | None = None,
 ) -> str:
     """Run every table's workload and render one markdown report."""
     rng = resolve_rng(rng)
-    algorithms = standard_algorithms(scale, include_sa=include_sa)
+    engine = engine if engine is not None else Engine()
+    algorithms = standard_algorithm_specs(scale, include_sa=include_sa)
     pairs = (("sa", "csa"), ("kl", "ckl")) if include_sa else (("kl", "ckl"),)
 
     sections: list[str] = [
@@ -51,41 +59,47 @@ def generate_report(
         "",
         f"Scale: **{scale.name}** | graph sizes: {scale.random_graph_sizes} | "
         f"starts: {scale.starts} | SA temperature length: {scale.sa_size_factor}n | "
-        f"algorithms: {', '.join(sorted(algorithms))}",
+        f"algorithms: {', '.join(sorted(algorithms))} | "
+        f"engine: jobs={engine.jobs}, cache={'on' if engine.cache else 'off'}",
         "",
     ]
 
-    began = time.perf_counter()
-    tables = {
-        "Gbreg(2n, b, 3) — the headline table": gbreg_cases(scale, 3),
-        "Gbreg(2n, b, 4)": gbreg_cases(scale, 4),
-        "G2set average degree 2.5": g2set_cases(scale, 2.5),
-        "G2set average degree 3.0": g2set_cases(scale, 3.0),
-        "G2set average degree 3.5": g2set_cases(scale, 3.5),
-        "G2set average degree 4.0": g2set_cases(scale, 4.0),
-        "Gnp degree sweep": gnp_cases(scale),
-        "Ladder graphs": ladder_cases(scale),
-        "Grid graphs": grid_cases(scale),
-        "Binary trees": btree_cases(scale),
-    }
+    timer = Timer()
+    with timer:
+        tables = {
+            "Gbreg(2n, b, 3) — the headline table": gbreg_cases(scale, 3),
+            "Gbreg(2n, b, 4)": gbreg_cases(scale, 4),
+            "G2set average degree 2.5": g2set_cases(scale, 2.5),
+            "G2set average degree 3.0": g2set_cases(scale, 3.0),
+            "G2set average degree 3.5": g2set_cases(scale, 3.5),
+            "G2set average degree 4.0": g2set_cases(scale, 4.0),
+            "Gnp degree sweep": gnp_cases(scale),
+            "Ladder graphs": ladder_cases(scale),
+            "Grid graphs": grid_cases(scale),
+            "Binary trees": btree_cases(scale),
+        }
 
-    degree3_rows = None
-    for salt, (title, cases) in enumerate(tables.items()):
-        rows = run_workload(cases, algorithms, rng=spawn(rng, salt), starts=scale.starts)
-        sections.append(f"## {title}")
-        sections.append("")
-        sections.append(_fence(render_paper_table(title, rows, base_pairs=pairs)))
-        sections.append("")
-        if title.startswith("Gbreg(2n, b, 3)"):
-            degree3_rows = aggregate_rows(rows)
+        degree3_rows = None
+        for salt, (title, cases) in enumerate(tables.items()):
+            rows = run_workload(
+                cases, algorithms, rng=spawn(rng, salt), starts=scale.starts,
+                engine=engine,
+            )
+            sections.append(f"## {title}")
+            sections.append("")
+            sections.append(_fence(render_paper_table(title, rows, base_pairs=pairs)))
+            sections.append("")
+            if title.startswith("Gbreg(2n, b, 3)"):
+                degree3_rows = aggregate_rows(rows)
 
-    # Extension workload: native netlist bisection.
-    netlist_rows = run_workload(
-        netlist_cases(scale),
-        netlist_algorithms(scale, include_sa=include_sa),
-        rng=spawn(rng, 99),
-        starts=scale.starts,
-    )
+        # Extension workload: native netlist bisection.
+        netlist_rows = run_workload(
+            netlist_cases(scale),
+            netlist_algorithm_specs(scale, include_sa=include_sa),
+            rng=spawn(rng, 99),
+            starts=scale.starts,
+            engine=engine,
+        )
     netlist_pairs = (
         (("hsa", "chsa"), ("hfm", "chfm")) if include_sa else (("hfm", "chfm"),)
     )
@@ -122,6 +136,17 @@ def generate_report(
         )
         sections.append("")
 
-    elapsed = time.perf_counter() - began
-    sections.append(f"_Generated in {elapsed:.1f} s._")
+    summary = engine.telemetry.summary()
+    sections.append("## Engine telemetry")
+    sections.append("")
+    sections.append(
+        f"* jobs: {summary['jobs']} ({summary['cache_hits']} cache hits, "
+        f"{summary['executed']} executed, {summary['failed']} failed)"
+    )
+    sections.append(
+        f"* compute time: {summary['compute_seconds']:.1f} s across "
+        f"{engine.jobs} worker(s); wall time {timer.seconds:.1f} s"
+    )
+    sections.append("")
+    sections.append(f"_Generated in {timer.seconds:.1f} s._")
     return "\n".join(sections)

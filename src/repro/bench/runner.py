@@ -10,18 +10,27 @@ initial bisections)."
 :func:`best_of_starts` is that protocol; :func:`compare_algorithms` runs a
 whole algorithm suite on one graph and :func:`run_workload` sweeps a list
 of workload cases into table rows.
+
+All three now execute through the :mod:`repro.engine` job engine: each
+start becomes a :class:`~repro.engine.job.Job` whose seed is derived from
+the master generator exactly as :func:`repro.rng.spawn` would, so results
+are bitwise identical to the historical in-process loop — and passing an
+``engine`` configured with ``jobs=N`` fans the starts out across worker
+processes (algorithms given as registry :class:`AlgorithmSpec` values
+required; plain callables degrade to serial).  An engine with a cache
+makes repeated sweeps near-free.
 """
 
 from __future__ import annotations
 
 import random
-import time
-from collections.abc import Callable, Mapping, Sequence
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any
 
+from ..engine.executor import Engine
+from ..engine.job import Algorithm, AlgorithmSpec, Job, JobResult
 from ..graphs.graph import Graph
-from ..rng import resolve_rng, spawn
+from ..rng import derive_seed, resolve_rng, spawn
 
 __all__ = [
     "Algorithm",
@@ -32,8 +41,8 @@ __all__ = [
     "run_workload",
 ]
 
-# An algorithm takes (graph, rng) and returns a result exposing `.cut`.
-Algorithm = Callable[[Graph, random.Random], Any]
+# An algorithm cell may be a (graph, rng) callable or a registry spec.
+AlgorithmLike = Algorithm | AlgorithmSpec
 
 
 @dataclass(frozen=True)
@@ -69,58 +78,95 @@ class RowResult:
         return self.cells[algorithm].seconds
 
 
+def _start_jobs(
+    graph_key: str,
+    algorithm: AlgorithmLike,
+    rng: random.Random,
+    starts: int,
+    prefix: str = "",
+) -> list[Job]:
+    """One job per start, seeded exactly as the serial spawn chain would."""
+    return [
+        Job(
+            graph_key=graph_key,
+            algorithm=algorithm,
+            seed=derive_seed(rng, index),
+            job_id=f"{prefix}start{index}",
+            tags=(("start", index),),
+        )
+        for index in range(starts)
+    ]
+
+
+def _assemble(results: Sequence[JobResult]) -> BestOfStarts:
+    failed = [r for r in results if not r.ok]
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)} of {len(results)} starts failed "
+            f"(first: {failed[0].job_id}: {failed[0].error})"
+        )
+    return BestOfStarts(
+        cut=min(r.cut for r in results),
+        seconds=sum(r.seconds for r in results),
+        start_cuts=tuple(r.cut for r in results),
+        start_seconds=tuple(r.seconds for r in results),
+    )
+
+
 def best_of_starts(
     graph: Graph,
-    algorithm: Algorithm,
+    algorithm: AlgorithmLike,
     rng: random.Random | int | None = None,
     starts: int = 2,
+    engine: Engine | None = None,
 ) -> BestOfStarts:
     """Run ``algorithm`` from ``starts`` independent random starts.
 
-    Each start gets its own deterministic child generator (so adding or
+    Each start gets its own deterministic derived seed (so adding or
     reordering starts does not perturb the others), mirroring the paper's
     two-random-initial-bisections protocol.
     """
     if starts < 1:
         raise ValueError("need at least one start")
     rng = resolve_rng(rng)
-    cuts: list[int] = []
-    times: list[float] = []
-    for index in range(starts):
-        child = spawn(rng, index)
-        began = time.perf_counter()
-        result = algorithm(graph, child)
-        times.append(time.perf_counter() - began)
-        cuts.append(result.cut)
-    return BestOfStarts(
-        cut=min(cuts),
-        seconds=sum(times),
-        start_cuts=tuple(cuts),
-        start_seconds=tuple(times),
-    )
+    engine = engine if engine is not None else Engine()
+    jobs = _start_jobs("graph", algorithm, rng, starts)
+    return _assemble(engine.run(jobs, {"graph": graph}))
 
 
 def compare_algorithms(
     graph: Graph,
-    algorithms: Mapping[str, Algorithm],
+    algorithms: Mapping[str, AlgorithmLike],
     rng: random.Random | int | None = None,
     starts: int = 2,
     label: str = "",
     expected_b: int | None = None,
+    engine: Engine | None = None,
 ) -> RowResult:
     """Run every algorithm on ``graph`` under the best-of-starts protocol."""
     rng = resolve_rng(rng)
-    cells = {}
-    for salt, (name, algorithm) in enumerate(sorted(algorithms.items())):
-        cells[name] = best_of_starts(graph, algorithm, spawn(rng, salt), starts)
+    engine = engine if engine is not None else Engine()
+    names = sorted(algorithms)
+    jobs: list[Job] = []
+    for salt, name in enumerate(names):
+        cell_rng = spawn(rng, salt)
+        jobs.extend(
+            _start_jobs("graph", algorithms[name], cell_rng, starts, prefix=f"{name}:")
+        )
+    results = engine.run(jobs, {"graph": graph})
+    cells = {
+        name: _assemble(results[i * starts : (i + 1) * starts])
+        for i, name in enumerate(names)
+    }
     return RowResult(label=label, expected_b=expected_b, cells=cells)
 
 
 def run_workload(
     cases: Sequence,
-    algorithms: Mapping[str, Algorithm],
+    algorithms: Mapping[str, AlgorithmLike],
     rng: random.Random | int | None = None,
     starts: int = 2,
+    engine: Engine | None = None,
 ) -> list[RowResult]:
     """Sweep workload ``cases`` (see :mod:`repro.bench.workloads`) into rows.
 
@@ -128,20 +174,37 @@ def run_workload(
     multiple seeds (the paper averages 3 random graphs per ``Gbreg``
     parameter point) contribute one row per seed — aggregation to
     per-parameter averages happens in the table renderer.
+
+    The whole sweep is submitted as one engine batch, so with a parallel
+    engine every (case, algorithm, start) cell runs concurrently.
     """
     rng = resolve_rng(rng)
-    rows: list[RowResult] = []
+    engine = engine if engine is not None else Engine()
+    names = sorted(algorithms)
+    graphs: dict[str, object] = {}
+    jobs: list[Job] = []
+    meta: list[tuple[str, int | None]] = []
     for salt, case in enumerate(cases):
         case_rng = spawn(rng, salt)
-        graph = case.build(case_rng)
-        rows.append(
-            compare_algorithms(
-                graph,
-                algorithms,
-                rng=case_rng,
-                starts=starts,
-                label=case.label,
-                expected_b=case.expected_b,
+        key = f"case{salt}"
+        graphs[key] = case.build(case_rng)
+        meta.append((case.label, case.expected_b))
+        for cell_salt, name in enumerate(names):
+            cell_rng = spawn(case_rng, cell_salt)
+            jobs.extend(
+                _start_jobs(
+                    key, algorithms[name], cell_rng, starts,
+                    prefix=f"{key}:{name}:",
+                )
             )
-        )
+    results = engine.run(jobs, graphs)
+
+    rows: list[RowResult] = []
+    cursor = 0
+    for label, expected_b in meta:
+        cells = {}
+        for name in names:
+            cells[name] = _assemble(results[cursor : cursor + starts])
+            cursor += starts
+        rows.append(RowResult(label=label, expected_b=expected_b, cells=cells))
     return rows

@@ -23,6 +23,8 @@ import random
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from ..engine.job import AlgorithmSpec
+from ..engine.registry import build_algorithm
 from ..graphs.generators import (
     binary_tree,
     g2set_with_degree,
@@ -32,17 +34,15 @@ from ..graphs.generators import (
     ladder_graph,
 )
 from ..graphs.graph import Graph
-from ..partition.annealing import AnnealingSchedule
-from ..partition.kl import kernighan_lin
-from ..partition.annealing.sa import simulated_annealing
-from ..core.pipeline import ckl, csa
 
 __all__ = [
     "Scale",
     "WorkloadCase",
     "current_scale",
     "standard_algorithms",
+    "standard_algorithm_specs",
     "netlist_algorithms",
+    "netlist_algorithm_specs",
     "gbreg_cases",
     "g2set_cases",
     "gnp_cases",
@@ -113,24 +113,38 @@ def current_scale() -> Scale:
     return _SCALES[name]
 
 
+def standard_algorithm_specs(
+    scale: Scale, include_sa: bool = True
+) -> dict[str, AlgorithmSpec]:
+    """The paper's four procedures as engine :class:`AlgorithmSpec` values.
+
+    Specs (unlike the callables from :func:`standard_algorithms`) are
+    picklable and cacheable, so they are what the parallel engine and the
+    result cache consume.  SA and CSA carry the scale tier's temperature
+    length (``size_factor * |V|``).
+    """
+    specs = {
+        "kl": AlgorithmSpec.make("kl"),
+        "ckl": AlgorithmSpec.make("ckl"),
+    }
+    if include_sa:
+        specs["sa"] = AlgorithmSpec.make("sa", size_factor=scale.sa_size_factor)
+        specs["csa"] = AlgorithmSpec.make("csa", size_factor=scale.sa_size_factor)
+    return specs
+
+
 def standard_algorithms(scale: Scale, include_sa: bool = True) -> dict:
     """The paper's four procedures as ``(graph, rng) -> result`` callables.
 
-    SA and CSA share a schedule sized by the scale tier (temperature
-    length ``size_factor * |V|``); set ``include_sa=False`` for the
-    KL-only sweeps (SA dominates wall time, exactly as the paper found).
+    Built from :func:`standard_algorithm_specs` through the engine
+    registry, so the two forms are guaranteed to agree; set
+    ``include_sa=False`` for the KL-only sweeps (SA dominates wall time,
+    exactly as the paper found).
     """
-    schedule = AnnealingSchedule(size_factor=scale.sa_size_factor)
-    algorithms: dict = {
-        "kl": lambda graph, rng: kernighan_lin(graph, rng=rng),
-        "ckl": lambda graph, rng: ckl(graph, rng=rng),
+    return {
+        name: build_algorithm(spec)
+        for name, spec in standard_algorithm_specs(scale, include_sa).items()
     }
-    if include_sa:
-        algorithms["sa"] = lambda graph, rng: simulated_annealing(
-            graph, rng=rng, schedule=schedule
-        )
-        algorithms["csa"] = lambda graph, rng: csa(graph, rng=rng, schedule=schedule)
-    return algorithms
 
 
 @dataclass(frozen=True)
@@ -262,27 +276,30 @@ def netlist_cases(scale: Scale) -> list[WorkloadCase]:
     return cases
 
 
+def netlist_algorithm_specs(
+    scale: Scale, include_sa: bool = True
+) -> dict[str, AlgorithmSpec]:
+    """Netlist bisectors as engine specs (see :func:`netlist_algorithms`)."""
+    specs = {
+        "hfm": AlgorithmSpec.make("hfm"),
+        "chfm": AlgorithmSpec.make("chfm"),
+    }
+    if include_sa:
+        specs["hsa"] = AlgorithmSpec.make("hsa", size_factor=scale.sa_size_factor)
+        specs["chsa"] = AlgorithmSpec.make("chsa", size_factor=scale.sa_size_factor)
+    return specs
+
+
 def netlist_algorithms(scale: Scale, include_sa: bool = True) -> dict:
     """Netlist bisectors as ``(hypergraph, rng) -> result`` callables.
 
     ``hfm``/``chfm`` mirror KL/CKL (deterministic-ish local search, plain
     and compacted); ``hsa``/``chsa`` mirror SA/CSA.
     """
-    from ..hypergraph.compaction import compacted_hypergraph_fm
-    from ..hypergraph.fm import hypergraph_fm
-    from ..hypergraph.sa import compacted_hypergraph_sa, hypergraph_sa
-
-    schedule = AnnealingSchedule(size_factor=scale.sa_size_factor)
-    algorithms: dict = {
-        "hfm": lambda hg, rng: hypergraph_fm(hg, rng=rng),
-        "chfm": lambda hg, rng: compacted_hypergraph_fm(hg, rng=rng),
+    return {
+        name: build_algorithm(spec)
+        for name, spec in netlist_algorithm_specs(scale, include_sa).items()
     }
-    if include_sa:
-        algorithms["hsa"] = lambda hg, rng: hypergraph_sa(hg, rng=rng, schedule=schedule)
-        algorithms["chsa"] = lambda hg, rng: compacted_hypergraph_sa(
-            hg, rng=rng, schedule=schedule
-        )
-    return algorithms
 
 
 def btree_cases(scale: Scale) -> list[WorkloadCase]:

@@ -9,15 +9,25 @@ Examples::
     # Bisect a saved graph with every algorithm
     repro-bisect run graph.edges --algorithm ckl --seed 1
 
-    # Regenerate one of the paper's tables at the current REPRO_SCALE
-    repro-bisect table gbreg-d3
+    # Best-of-4 starts fanned out over 4 worker processes
+    repro-bisect run graph.edges --algorithm ckl --starts 4 --jobs 4
+
+    # Regenerate one of the paper's tables at the current REPRO_SCALE,
+    # in parallel, with the result cache making reruns near-free
+    repro-bisect table gbreg-d3 --jobs 4
+
+    # Run a declarative batch spec through the engine
+    repro-bisect batch jobs.json --jobs 4 --out results.jsonl
+
+    # Canonical fingerprint + stats of a saved graph
+    repro-bisect info graph.edges
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 
 from .bench import (
     current_scale,
@@ -27,11 +37,21 @@ from .bench import (
     grid_cases,
     btree_cases,
     ladder_cases,
+    render_generic_table,
     render_paper_table,
     run_workload,
-    standard_algorithms,
+    standard_algorithm_specs,
 )
-from .core import ckl, csa, multilevel_bisection
+from .engine import (
+    AlgorithmSpec,
+    Engine,
+    Job,
+    ResultCache,
+    Telemetry,
+    Timer,
+    read_batch_file,
+    run_batch,
+)
 from .graphs.generators import (
     binary_tree,
     g2set,
@@ -40,27 +60,14 @@ from .graphs.generators import (
     grid_graph,
     ladder_graph,
 )
+from .graphs.graph import graph_fingerprint
 from .graphs.io import read_edge_list, write_edge_list
-from .partition import (
-    bisect_paths_and_cycles,
-    fiduccia_mattheyses,
-    greedy_improvement,
-    kernighan_lin,
-    simulated_annealing,
-)
+from .rng import derive_seed, resolve_rng
 
 __all__ = ["main"]
 
-_ALGORITHMS = {
-    "kl": lambda g, rng: kernighan_lin(g, rng=rng),
-    "sa": lambda g, rng: simulated_annealing(g, rng=rng),
-    "ckl": lambda g, rng: ckl(g, rng=rng),
-    "csa": lambda g, rng: csa(g, rng=rng),
-    "fm": lambda g, rng: fiduccia_mattheyses(g, rng=rng),
-    "greedy": lambda g, rng: greedy_improvement(g, rng=rng),
-    "multilevel": lambda g, rng: multilevel_bisection(g, rng=rng),
-    "cycles": lambda g, rng: _CycleResult(bisect_paths_and_cycles(g)),
-}
+# Graph bisectors exposed on `run` (all resolved through the engine registry).
+_GRAPH_ALGORITHMS = ("ckl", "csa", "cycles", "fm", "greedy", "kl", "multilevel", "sa")
 
 _TABLES = {
     "gbreg-d3": lambda scale: gbreg_cases(scale, 3),
@@ -76,12 +83,48 @@ _TABLES = {
 }
 
 
-class _CycleResult:
-    """Adapter giving the exact cycle solver the common ``.cut`` shape."""
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return value
 
-    def __init__(self, bisection):
-        self.bisection = bisection
-        self.cut = bisection.cut
+
+def _add_engine_options(parser: argparse.ArgumentParser, cache: bool = True) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the execution engine (1 = serial)",
+    )
+    parser.add_argument(
+        "--telemetry", help="append engine telemetry events to this JSONL file"
+    )
+    if cache:
+        parser.add_argument(
+            "--no-cache", action="store_true", help="disable the result cache"
+        )
+        parser.add_argument(
+            "--cache-dir",
+            help="result cache directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro-bisect)",
+        )
+
+
+def _make_engine(
+    args: argparse.Namespace,
+    cache: bool = True,
+    timeout: float | None = None,
+    retries: int = 0,
+) -> Engine:
+    store = None
+    if cache and not getattr(args, "no_cache", False):
+        store = ResultCache(getattr(args, "cache_dir", None))
+    return Engine(
+        jobs=args.jobs,
+        cache=store,
+        telemetry=Telemetry(getattr(args, "telemetry", None)),
+        timeout=timeout,
+        retries=retries,
+    )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -107,15 +150,33 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.graph)
-    algorithm = _ALGORITHMS[args.algorithm]
-    began = time.perf_counter()
-    result = algorithm(graph, args.seed)
-    elapsed = time.perf_counter() - began
-    bisection = result.bisection
+    spec = AlgorithmSpec.make(args.algorithm)
+    engine = _make_engine(args, cache=False)
+    if args.starts > 1:
+        # Best-of-R protocol: start seeds derive from the master seed
+        # exactly as the bench harness derives them.
+        master = resolve_rng(args.seed)
+        jobs = [
+            Job("graph", spec, derive_seed(master, index), job_id=f"start{index}")
+            for index in range(args.starts)
+        ]
+    else:
+        jobs = [Job("graph", spec, args.seed, job_id="run")]
+    results = engine.run(jobs, {"graph": graph})
+    good = [r for r in results if r.ok]
+    if not good:
+        print(f"{args.algorithm}: all {len(results)} start(s) failed "
+              f"({results[0].error})", file=sys.stderr)
+        return 1
+    best = min(good, key=lambda r: r.cut)
+    bisection = best.bisection(graph)
+    elapsed = sum(r.seconds for r in results)
     print(
         f"{args.algorithm}: cut={bisection.cut} imbalance={bisection.imbalance} "
         f"time={elapsed:.3f}s |V|={graph.num_vertices} |E|={graph.num_edges}"
     )
+    if args.starts > 1:
+        print(f"starts: {len(results)}  cuts: {[r.cut for r in results]}")
     if args.certify:
         from .partition.bounds import certify
 
@@ -139,13 +200,12 @@ def _cmd_kway(args: argparse.Namespace) -> int:
     from .partition.kway import recursive_kway
 
     graph = read_edge_list(args.graph)
-    began = time.perf_counter()
-    partition = recursive_kway(graph, args.k, rng=args.seed)
-    elapsed = time.perf_counter() - began
+    with Timer() as timer:
+        partition = recursive_kway(graph, args.k, rng=args.seed)
     weights = partition.part_weights()
     print(
         f"k={args.k}: cut={partition.cut} part_weights={weights} "
-        f"imbalance_ratio={partition.max_imbalance_ratio():.3f} time={elapsed:.3f}s"
+        f"imbalance_ratio={partition.max_imbalance_ratio():.3f} time={timer.seconds:.3f}s"
     )
     if args.save_partition:
         from .partition.io import write_partition
@@ -197,13 +257,12 @@ def _cmd_netlist(args: argparse.Namespace) -> int:
     if args.k > 2:
         from .hypergraph.kway import recursive_kway_hypergraph
 
-        began = time.perf_counter()
-        partition = recursive_kway_hypergraph(netlist, args.k, rng=args.seed)
-        elapsed = time.perf_counter() - began
+        with Timer() as timer:
+            partition = recursive_kway_hypergraph(netlist, args.k, rng=args.seed)
         print(
             f"kway k={args.k}: cut_nets={partition.cut_nets} "
             f"connectivity-1={partition.connectivity_minus_one} "
-            f"part_weights={partition.part_weights()} time={elapsed:.3f}s"
+            f"part_weights={partition.part_weights()} time={timer.seconds:.3f}s"
         )
         return 0
     runners = {
@@ -211,13 +270,12 @@ def _cmd_netlist(args: argparse.Namespace) -> int:
         "cfm": compacted_hypergraph_fm,
         "multilevel": multilevel_hypergraph_fm,
     }
-    began = time.perf_counter()
-    result = runners[args.algorithm](netlist, rng=args.seed)
-    elapsed = time.perf_counter() - began
+    with Timer() as timer:
+        result = runners[args.algorithm](netlist, rng=args.seed)
     bisection = result.bisection
     print(
         f"{args.algorithm}: net_cut={bisection.cut} imbalance={bisection.imbalance} "
-        f"time={elapsed:.3f}s |V|={netlist.num_vertices} |N|={netlist.num_nets}"
+        f"time={timer.seconds:.3f}s |V|={netlist.num_vertices} |N|={netlist.num_nets}"
     )
     return 0
 
@@ -226,7 +284,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .bench.report import generate_report
 
     scale = current_scale()
-    text = generate_report(scale, rng=args.seed, include_sa=not args.kl_only)
+    engine = _make_engine(args)
+    text = generate_report(
+        scale, rng=args.seed, include_sa=not args.kl_only, engine=engine
+    )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as stream:
             stream.write(text + "\n")
@@ -240,14 +301,74 @@ def _cmd_table(args: argparse.Namespace) -> int:
     scale = current_scale()
     cases = _TABLES[args.table](scale)
     include_sa = not args.kl_only
-    algorithms = standard_algorithms(scale, include_sa=include_sa)
-    rows = run_workload(cases, algorithms, rng=args.seed, starts=scale.starts)
+    algorithms = standard_algorithm_specs(scale, include_sa=include_sa)
+    engine = _make_engine(args)
+    rows = run_workload(
+        cases, algorithms, rng=args.seed, starts=scale.starts, engine=engine
+    )
     pairs = (("sa", "csa"), ("kl", "ckl")) if include_sa else (("kl", "ckl"),)
     print(
         render_paper_table(
             f"table {args.table} @ scale={scale.name}", rows, base_pairs=pairs
         )
     )
+    print(engine.telemetry.render_summary())
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        entries = read_batch_file(args.spec)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read batch spec {args.spec}: {exc}", file=sys.stderr)
+        return 1
+    if not entries:
+        print("batch spec has no jobs", file=sys.stderr)
+        return 1
+    engine = _make_engine(args, timeout=args.timeout, retries=args.retries)
+    try:
+        rows = run_batch(entries, engine)
+    except OSError as exc:  # a spec entry names an unreadable graph file
+        print(f"batch failed: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            for row in rows:
+                stream.write(json.dumps(row, sort_keys=True) + "\n")
+        print(f"wrote {len(rows)} result(s) to {args.out}")
+    print(
+        render_generic_table(
+            ["label", "algorithm", "status", "cut", "time(s)", "cached"],
+            [
+                [
+                    row["label"],
+                    row["algorithm"],
+                    row["status"],
+                    "-" if row["cut"] is None else row["cut"],
+                    f"{row['seconds']:.2f}",
+                    f"{row['cache_hits']}/{row['starts']}",
+                ]
+                for row in rows
+            ],
+            title=f"batch {args.spec}",
+        )
+    )
+    print(engine.telemetry.render_summary())
+    return 0 if all(row["status"] == "ok" for row in rows) else 1
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .graphs.traversal import connected_components
+
+    graph = read_edge_list(args.graph)
+    print(f"path: {args.graph}")
+    print(f"fingerprint: {graph_fingerprint(graph)}")
+    print(f"vertices: {graph.num_vertices}")
+    print(f"edges: {graph.num_edges}")
+    print(f"total edge weight: {graph.total_edge_weight}")
+    print(f"total vertex weight: {graph.total_vertex_weight}")
+    print(f"average degree: {graph.average_degree():.3f}")
+    print(f"connected components: {len(connected_components(graph))}")
     return 0
 
 
@@ -270,14 +391,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="bisect a saved graph")
     run.add_argument("graph", help="edge-list path")
-    run.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="ckl")
+    run.add_argument("--algorithm", choices=_GRAPH_ALGORITHMS, default="ckl")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--starts", type=int, default=1,
+        help="independent random starts (best cut wins; paper protocol is 2)",
+    )
     run.add_argument("--show-sides", action="store_true")
     run.add_argument(
         "--certify", action="store_true",
         help="also compute bisection-width lower bounds (Stoer-Wagner, spectral)",
     )
     run.add_argument("--save-partition", help="write the resulting partition to this path")
+    _add_engine_options(run, cache=False)
     run.set_defaults(func=_cmd_run)
 
     kway = sub.add_parser("kway", help="k-way partition a saved graph")
@@ -313,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", help="output path (default: stdout)")
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--kl-only", action="store_true", help="skip SA/CSA")
+    _add_engine_options(report)
     report.set_defaults(func=_cmd_report)
 
     table = sub.add_parser("table", help="regenerate a paper table at REPRO_SCALE")
@@ -321,7 +448,30 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument(
         "--kl-only", action="store_true", help="skip SA/CSA (much faster)"
     )
+    _add_engine_options(table)
     table.set_defaults(func=_cmd_table)
+
+    batch = sub.add_parser(
+        "batch", help="run a declarative JSON batch spec through the engine"
+    )
+    batch.add_argument("spec", help="batch spec path (JSON; see docs/engine.md)")
+    batch.add_argument("--out", help="write per-entry results to this JSONL path")
+    batch.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-job wall-clock timeout in seconds",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=0,
+        help="default retries per job (each retry gets a fresh derived seed)",
+    )
+    _add_engine_options(batch)
+    batch.set_defaults(func=_cmd_batch)
+
+    info = sub.add_parser(
+        "info", help="canonical fingerprint and stats of a saved graph"
+    )
+    info.add_argument("graph", help="edge-list path")
+    info.set_defaults(func=_cmd_info)
     return parser
 
 

@@ -1,0 +1,90 @@
+"""Content-addressed on-disk result cache.
+
+A cached result is addressed by the SHA-256 of its full identity:
+canonical graph fingerprint (:func:`~repro.graphs.graph.graph_fingerprint`),
+algorithm name, canonical parameter pairs, seed, and a schema version.
+Anything that could change the outcome is part of the key, so a hit is
+always safe to reuse; timings are replayed as recorded.
+
+Layout (under ``REPRO_CACHE_DIR``, default ``~/.cache/repro-bisect``)::
+
+    <root>/<key[:2]>/<key>.json
+
+Each file is one JSON object::
+
+    {"status": "ok", "cut": 14, "side0": ["int:0", "int:3", ...],
+     "seconds": 0.21, "counters": {"passes": 4, ...}}
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers and
+interrupted runs never leave a torn entry; unreadable entries are treated
+as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from .job import AlgorithmSpec
+
+__all__ = ["ResultCache", "cache_key", "default_cache_dir"]
+
+# Bump when the payload schema or execution semantics change incompatibly.
+_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-bisect``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-bisect"
+
+
+def cache_key(fingerprint: str, spec: AlgorithmSpec, seed: int) -> str:
+    """Content address for one (graph, algorithm, params, seed) cell."""
+    identity = json.dumps(
+        [_SCHEMA_VERSION, fingerprint, spec.name, list(spec.params), seed],
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(identity.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem store mapping cache keys to result payload dicts."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored payload, or ``None`` on miss / unreadable entry."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as stream:
+                return json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def put(self, key: str, payload: dict[str, Any]) -> None:
+        """Store ``payload`` atomically under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, sort_keys=True)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, entries={len(self)})"

@@ -1,0 +1,444 @@
+"""The job execution engine: worker pool, timeouts, retries, cache, telemetry.
+
+:class:`Engine` runs declarative :class:`~repro.engine.job.Job` specs and
+returns :class:`~repro.engine.job.JobResult` values **in submission
+order**.  Design invariants:
+
+* **Determinism** — a job's outcome depends only on its spec.  Workers
+  reconstruct the per-job generator as ``LaggedFibonacciRandom(seed)``,
+  which is bitwise-identical to :func:`repro.rng.spawn` in the parent, so
+  ``jobs=1`` and ``jobs=N`` produce the same cuts and partitions.
+* **Robustness** — each attempt runs under an optional wall-clock
+  deadline (SIGALRM-based, covering pure-Python compute); a failed or
+  timed-out attempt is retried with a fresh seed derived from
+  ``(seed, attempt)``; exhaustion yields a ``status="failed"`` result
+  instead of an exception, so one bad job never sinks a batch.
+* **Graceful degradation** — when the pool cannot be created (restricted
+  environments, missing semaphores) or the algorithm is an unpicklable
+  in-process callable, the engine falls back to serial execution and
+  records the downgrade in telemetry.
+
+Graphs are passed to ``run`` in a separate ``graphs`` table keyed by
+``Job.graph_key`` and shipped to each worker once via the pool
+initializer, not once per job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import replace
+from typing import Any
+
+from ..graphs.graph import graph_fingerprint, vertex_token
+from ..rng import LaggedFibonacciRandom
+from .cache import ResultCache, cache_key
+from .job import Job, JobResult
+from .registry import build_algorithm
+from .telemetry import Telemetry
+
+__all__ = ["Engine", "JobTimeout", "execute_job", "retry_seed"]
+
+_MASK64 = (1 << 64) - 1
+# Same MMIX LCG constants as the rng seed expansion; splitmix-style mixing.
+_LCG_MULT = 6364136223846793005
+_LCG_INC = 1442695040888963407
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+class JobTimeout(Exception):
+    """Raised inside a worker when a job attempt exceeds its deadline."""
+
+
+def retry_seed(seed: int, attempt: int) -> int:
+    """Deterministic fresh seed for retry ``attempt`` (1-based) of ``seed``."""
+    mixed = (seed ^ (attempt * _GOLDEN)) & _MASK64
+    return (mixed * _LCG_MULT + _LCG_INC) & _MASK64
+
+
+class _deadline:
+    """Context manager raising :class:`JobTimeout` after ``seconds``.
+
+    Uses ``SIGALRM``, which interrupts pure-Python compute between
+    bytecodes.  Silently inert when unsupported (no SIGALRM, or not on
+    the main thread) — jobs then run without a deadline rather than
+    failing outright.
+    """
+
+    def __init__(self, seconds: float | None) -> None:
+        self.seconds = seconds
+        self.armed = False
+        self.previous = None
+
+    def __enter__(self) -> "_deadline":
+        if (
+            self.seconds
+            and self.seconds > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        ):
+            def _expire(signum, frame):
+                raise JobTimeout(f"exceeded {self.seconds}s deadline")
+
+            self.previous = signal.signal(signal.SIGALRM, _expire)
+            signal.setitimer(signal.ITIMER_REAL, self.seconds)
+            self.armed = True
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        if self.armed:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, self.previous)
+        return False
+
+
+def _extract_counters(result: Any, nested: bool = True) -> dict[str, Any]:
+    """Pull algorithm-specific progress counters off a result object.
+
+    Covers the KL/FM pass protocol (``passes``, ``pass_gains`` — the cut
+    trajectory, ``swaps``/``moves``), the SA move accounting
+    (``temperatures``, ``moves_attempted``, ``moves_accepted``), and one
+    level of compaction nesting (``coarse_``/``final_`` prefixes).
+    """
+    counters: dict[str, Any] = {}
+    for name in (
+        "initial_cut",
+        "passes",
+        "swaps",
+        "moves",
+        "temperatures",
+        "moves_attempted",
+        "moves_accepted",
+        "projected_cut",
+    ):
+        value = getattr(result, name, None)
+        if isinstance(value, int):
+            counters[name] = value
+    gains = getattr(result, "pass_gains", None)
+    if isinstance(gains, list):
+        counters["pass_gains"] = list(gains)
+    if nested:
+        for prefix in ("coarse", "final"):
+            inner = getattr(result, f"{prefix}_result", None)
+            if inner is not None:
+                for k, v in _extract_counters(inner, nested=False).items():
+                    counters[f"{prefix}_{k}"] = v
+    return counters
+
+
+def _extract_side0(result: Any) -> tuple[str, ...]:
+    bisection = getattr(result, "bisection", None)
+    side = getattr(bisection, "side", None)
+    if side is None:
+        return ()
+    return tuple(sorted(vertex_token(v) for v in side(0)))
+
+
+def execute_job(job: Job, graph: Any) -> JobResult:
+    """Run one job to completion (attempts + retries) in this process."""
+    spec = job.spec()
+    try:
+        algorithm = build_algorithm(spec) if spec is not None else job.algorithm
+    except Exception as exc:  # unknown name / bad params: fail, don't crash
+        return JobResult(
+            job_id=job.job_id,
+            graph_key=job.graph_key,
+            algorithm=job.algorithm_name(),
+            seed=job.seed,
+            status="failed",
+            cut=None,
+            side0=(),
+            seconds=0.0,
+            attempts=0,
+            error=f"{type(exc).__name__}: {exc}",
+            tags=job.tags,
+        )
+    retries = job.retries or 0
+    seeds: list[int] = []
+    total = 0.0
+    error: str | None = None
+    for attempt in range(retries + 1):
+        seed = job.seed if attempt == 0 else retry_seed(job.seed, attempt)
+        seeds.append(seed)
+        rng = LaggedFibonacciRandom(seed)
+        began = time.perf_counter()
+        try:
+            with _deadline(job.timeout):
+                result = algorithm(graph, rng)
+        except JobTimeout as exc:
+            total += time.perf_counter() - began
+            error = f"timeout: {exc}"
+            continue
+        except Exception as exc:  # noqa: BLE001 - robustness boundary by design
+            total += time.perf_counter() - began
+            error = f"{type(exc).__name__}: {exc}"
+            continue
+        total += time.perf_counter() - began
+        return JobResult(
+            job_id=job.job_id,
+            graph_key=job.graph_key,
+            algorithm=job.algorithm_name(),
+            seed=job.seed,
+            status="ok",
+            cut=result.cut,
+            side0=_extract_side0(result),
+            seconds=total,
+            attempts=attempt + 1,
+            seeds_tried=tuple(seeds),
+            counters=_extract_counters(result),
+            tags=job.tags,
+        )
+    return JobResult(
+        job_id=job.job_id,
+        graph_key=job.graph_key,
+        algorithm=job.algorithm_name(),
+        seed=job.seed,
+        status="failed",
+        cut=None,
+        side0=(),
+        seconds=total,
+        attempts=len(seeds),
+        seeds_tried=tuple(seeds),
+        error=error,
+        tags=job.tags,
+    )
+
+
+# -- worker-process plumbing -------------------------------------------------------
+
+_WORKER_GRAPHS: Mapping[str, Any] = {}
+
+
+def _worker_init(graphs: Mapping[str, Any]) -> None:
+    global _WORKER_GRAPHS
+    _WORKER_GRAPHS = graphs
+
+
+def _worker_run(job: Job) -> JobResult:
+    return execute_job(job, _WORKER_GRAPHS[job.graph_key])
+
+
+def _make_pool(workers: int, graphs: Mapping[str, Any]):
+    """Create the process pool (separated out so tests can break it)."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    return ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=_worker_init,
+        initargs=(graphs,),
+    )
+
+
+class Engine:
+    """Runs batches of jobs with caching, telemetry, and a worker pool.
+
+    ``jobs`` is the worker-process count (1 = in-process serial).
+    ``cache`` may be ``None`` (disabled), a :class:`ResultCache`, or a
+    directory path.  ``timeout``/``retries`` are batch-wide defaults for
+    jobs that leave theirs unset.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | str | None = None,
+        telemetry: Telemetry | None = None,
+        timeout: float | None = None,
+        retries: int = 0,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        if cache is not None and not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.timeout = timeout
+        self.retries = retries
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job], graphs: Mapping[str, Any]) -> list[JobResult]:
+        """Execute ``jobs`` and return their results in submission order."""
+        jobs = [self._normalize(job, index) for index, job in enumerate(jobs)]
+        for job in jobs:
+            if job.graph_key not in graphs:
+                raise KeyError(f"job {job.job_id!r} references unknown graph "
+                               f"{job.graph_key!r}")
+        self.telemetry.emit("batch_start", jobs=len(jobs), workers=self.jobs)
+        began = time.perf_counter()
+
+        results: list[JobResult | None] = [None] * len(jobs)
+        pending: list[tuple[int, Job, str | None]] = []
+        fingerprints: dict[str, str | None] = {}
+        for index, job in enumerate(jobs):
+            key = self._cache_key(job, graphs, fingerprints)
+            if key is not None:
+                payload = self.cache.get(key)
+                if payload is not None:
+                    results[index] = self._from_payload(job, payload)
+                    self.telemetry.emit("cache_hit", job.job_id, key=key)
+                    continue
+            pending.append((index, job, key))
+
+        if pending:
+            self._run_pending(pending, jobs, graphs, results)
+
+        for index, job in enumerate(jobs):
+            result = results[index]
+            self.telemetry.emit(
+                "job_finish",
+                job.job_id,
+                status=result.status,
+                cut=result.cut,
+                seconds=round(result.seconds, 6),
+                attempts=result.attempts,
+                from_cache=result.from_cache,
+                algorithm=result.algorithm,
+                error=result.error,
+            )
+        self.telemetry.emit(
+            "batch_finish",
+            jobs=len(jobs),
+            wall_seconds=round(time.perf_counter() - began, 6),
+        )
+        return results  # type: ignore[return-value]
+
+    # -- internals ----------------------------------------------------------------
+
+    def _normalize(self, job: Job, index: int) -> Job:
+        changes: dict[str, Any] = {}
+        if not job.job_id:
+            changes["job_id"] = f"job{index}"
+        if job.timeout is None and self.timeout is not None:
+            changes["timeout"] = self.timeout
+        if job.retries is None:
+            changes["retries"] = self.retries
+        return replace(job, **changes) if changes else job
+
+    def _cache_key(
+        self,
+        job: Job,
+        graphs: Mapping[str, Any],
+        fingerprints: dict[str, str | None],
+    ) -> str | None:
+        """The job's cache key, or ``None`` when it cannot be cached."""
+        spec = job.spec()
+        if self.cache is None or spec is None:
+            return None
+        if job.graph_key not in fingerprints:
+            try:
+                fingerprints[job.graph_key] = graph_fingerprint(graphs[job.graph_key])
+            except (AttributeError, TypeError):
+                # Not a Graph (e.g. a hypergraph netlist): run uncached.
+                fingerprints[job.graph_key] = None
+                self.telemetry.emit("uncacheable_graph", job.job_id,
+                                    graph_key=job.graph_key)
+        fingerprint = fingerprints[job.graph_key]
+        if fingerprint is None:
+            return None
+        return cache_key(fingerprint, spec, job.seed)
+
+    def _from_payload(self, job: Job, payload: Mapping[str, Any]) -> JobResult:
+        return JobResult(
+            job_id=job.job_id,
+            graph_key=job.graph_key,
+            algorithm=job.algorithm_name(),
+            seed=job.seed,
+            status=payload.get("status", "ok"),
+            cut=payload.get("cut"),
+            side0=tuple(payload.get("side0", ())),
+            seconds=payload.get("seconds", 0.0),
+            attempts=payload.get("attempts", 1),
+            from_cache=True,
+            counters=dict(payload.get("counters", {})),
+            tags=job.tags,
+        )
+
+    @staticmethod
+    def _to_payload(result: JobResult) -> dict[str, Any]:
+        return {
+            "status": result.status,
+            "cut": result.cut,
+            "side0": list(result.side0),
+            "seconds": result.seconds,
+            "attempts": result.attempts,
+            "counters": dict(result.counters),
+        }
+
+    def _store(self, key: str | None, result: JobResult) -> None:
+        if key is not None and result.ok:
+            self.cache.put(key, self._to_payload(result))
+            self.telemetry.emit("cache_store", result.job_id, key=key)
+
+    def _run_pending(
+        self,
+        pending: list[tuple[int, Job, str | None]],
+        jobs: Sequence[Job],
+        graphs: Mapping[str, Any],
+        results: list[JobResult | None],
+    ) -> None:
+        parallel = self.jobs > 1 and len(pending) > 1
+        if parallel and any(job.spec() is None for _, job, _ in pending):
+            self.telemetry.emit(
+                "serial_fallback", reason="in-process callable algorithm"
+            )
+            parallel = False
+        if parallel:
+            needed = {job.graph_key for _, job, _ in pending}
+            try:
+                pool = _make_pool(
+                    min(self.jobs, len(pending)),
+                    {key: graphs[key] for key in needed},
+                )
+            except Exception as exc:  # noqa: BLE001 - degrade, don't die
+                self.telemetry.emit(
+                    "pool_unavailable", error=f"{type(exc).__name__}: {exc}"
+                )
+                parallel = False
+        if parallel:
+            pending = self._run_parallel(pool, pending, results)
+        for index, job, key in pending:
+            self.telemetry.emit("job_queued", job.job_id, mode="serial")
+            self.telemetry.emit("job_start", job.job_id)
+            result = execute_job(job, graphs[job.graph_key])
+            results[index] = result
+            self._store(key, result)
+
+    def _run_parallel(
+        self,
+        pool,
+        pending: list[tuple[int, Job, str | None]],
+        results: list[JobResult | None],
+    ) -> list[tuple[int, Job, str | None]]:
+        """Run ``pending`` on ``pool``; returns jobs still needing serial runs."""
+        from concurrent.futures import BrokenExecutor, as_completed
+
+        leftover: list[tuple[int, Job, str | None]] = []
+        try:
+            with pool:
+                futures = {}
+                for index, job, key in pending:
+                    self.telemetry.emit("job_queued", job.job_id, mode="parallel")
+                    futures[pool.submit(_worker_run, job)] = (index, job, key)
+                for future in as_completed(futures):
+                    index, job, key = futures[future]
+                    result = future.result()
+                    results[index] = result
+                    self._store(key, result)
+        except (BrokenExecutor, OSError) as exc:
+            # A worker died (or the pool broke mid-flight): finish the
+            # unfinished jobs serially rather than failing the batch.
+            self.telemetry.emit("pool_broken", error=f"{type(exc).__name__}: {exc}")
+            leftover = [
+                (index, job, key)
+                for index, job, key in pending
+                if results[index] is None
+            ]
+        return leftover

@@ -1,6 +1,6 @@
 """Graph substrate: data structure, generators, traversal, properties, I/O."""
 
-from .graph import Graph
+from .graph import Graph, graph_fingerprint, vertex_token
 from .properties import (
     degree_histogram,
     degree_statistics,
@@ -25,6 +25,8 @@ from .traversal import (
 
 __all__ = [
     "Graph",
+    "graph_fingerprint",
+    "vertex_token",
     "bfs_order",
     "bfs_layers",
     "dfs_order",

@@ -18,11 +18,55 @@ matched edge.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Hashable, Iterable, Iterator
 
-__all__ = ["Graph"]
+__all__ = ["Graph", "graph_fingerprint", "vertex_token"]
 
 Vertex = Hashable
+
+
+def vertex_token(v: Vertex) -> str:
+    """A stable string token for a vertex label.
+
+    The type name is included so ``1`` and ``"1"`` stay distinct; tokens
+    are what the execution engine stores in result payloads (cache files,
+    cross-process job results) and maps back to vertices on load.
+    """
+    return f"{type(v).__name__}:{v}"
+
+
+def graph_fingerprint(graph: "Graph") -> str:
+    """Canonical content hash of a graph (labels, weights, and edges).
+
+    The fingerprint is the SHA-256 of a canonical serialization: sorted
+    ``v <token> <weight>`` vertex lines followed by sorted
+    ``e <token> <token> <weight>`` edge lines (endpoints ordered within
+    each edge).  Two graphs get the same fingerprint iff they have the
+    same labelled vertex set, vertex weights, edge set, and edge weights —
+    regardless of insertion order.  Used as the engine's cache key and
+    shown by ``repro-bisect info``.
+
+    >>> a = Graph.from_edges([(0, 1), (1, 2)])
+    >>> b = Graph.from_edges([(1, 2), (0, 1)])
+    >>> graph_fingerprint(a) == graph_fingerprint(b)
+    True
+    """
+    digest = hashlib.sha256()
+    vertex_lines = sorted(
+        f"v {vertex_token(v)} {graph.vertex_weight(v)}" for v in graph.vertices()
+    )
+    edge_lines = sorted(
+        "e {} {} {}".format(*sorted((vertex_token(u), vertex_token(v))), w)
+        for u, v, w in graph.edges()
+    )
+    for line in vertex_lines:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    for line in edge_lines:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 class Graph:

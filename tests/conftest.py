@@ -9,6 +9,12 @@ from repro.graphs.graph import Graph
 from repro.rng import LaggedFibonacciRandom
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep engine result-cache traffic out of the user's ~/.cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def rng():
     """A deterministic generator; each test gets a fresh seed-0 stream."""

@@ -1,0 +1,62 @@
+"""Unit tests for the content-addressed result cache."""
+
+from __future__ import annotations
+
+from repro.engine.cache import ResultCache, cache_key, default_cache_dir
+from repro.engine.job import AlgorithmSpec
+
+FP_A = "a" * 64
+FP_B = "b" * 64
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        spec = AlgorithmSpec.make("sa", size_factor=4)
+        assert cache_key(FP_A, spec, 7) == cache_key(FP_A, spec, 7)
+
+    def test_sensitive_to_every_component(self):
+        spec = AlgorithmSpec.make("sa", size_factor=4)
+        base = cache_key(FP_A, spec, 7)
+        assert cache_key(FP_B, spec, 7) != base
+        assert cache_key(FP_A, AlgorithmSpec.make("sa", size_factor=8), 7) != base
+        assert cache_key(FP_A, AlgorithmSpec.make("kl"), 7) != base
+        assert cache_key(FP_A, spec, 8) != base
+
+    def test_param_order_does_not_matter(self):
+        a = AlgorithmSpec.make("x", p=1, q=2)
+        b = AlgorithmSpec.make("x", q=2, p=1)
+        assert cache_key(FP_A, a, 0) == cache_key(FP_A, b, 0)
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+
+    def test_put_get_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(FP_A, AlgorithmSpec.make("kl"), 1)
+        payload = {"status": "ok", "cut": 4, "side0": ["int:0"], "seconds": 0.5}
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+        assert len(cache) == 1
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(FP_A, AlgorithmSpec.make("kl"), 1)
+        cache.put(key, {"cut": 1})
+        path = cache.path_for(key)
+        assert path.exists()
+        assert path.parent.name == key[:2]
+        assert path.name == f"{key}.json"
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key(FP_A, AlgorithmSpec.make("kl"), 1)
+        cache.put(key, {"cut": 1})
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_default_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"

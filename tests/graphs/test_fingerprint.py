@@ -1,0 +1,59 @@
+"""Tests for the canonical graph fingerprint and vertex tokens."""
+
+from __future__ import annotations
+
+from repro.graphs.graph import Graph, graph_fingerprint, vertex_token
+
+
+def _graph(edges, vertex_weights=None):
+    g = Graph()
+    for v, w in (vertex_weights or {}).items():
+        g.add_vertex(v, w)
+    for u, v, w in edges:
+        g.add_edge(u, v, w)
+    return g
+
+
+class TestVertexToken:
+    def test_distinguishes_types(self):
+        assert vertex_token(1) != vertex_token("1")
+        assert vertex_token(1) == "int:1"
+        assert vertex_token("a") == "str:a"
+
+
+class TestGraphFingerprint:
+    def test_insertion_order_invariant(self):
+        a = _graph([(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        b = _graph([(2, 0, 1), (0, 1, 1), (1, 2, 1)])
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_edge_direction_invariant(self):
+        a = _graph([(0, 1, 1)])
+        b = _graph([(1, 0, 1)])
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_sensitive_to_edge_weight(self):
+        assert graph_fingerprint(_graph([(0, 1, 1)])) != graph_fingerprint(
+            _graph([(0, 1, 2)])
+        )
+
+    def test_sensitive_to_vertex_weight(self):
+        a = _graph([(0, 1, 1)])
+        b = _graph([(0, 1, 1)], vertex_weights={0: 2, 1: 1})
+        assert graph_fingerprint(a) != graph_fingerprint(b)
+
+    def test_sensitive_to_extra_structure(self):
+        base = _graph([(0, 1, 1)])
+        more_edges = _graph([(0, 1, 1), (1, 2, 1)])
+        isolated = _graph([(0, 1, 1)])
+        isolated.add_vertex(99)
+        assert graph_fingerprint(base) != graph_fingerprint(more_edges)
+        assert graph_fingerprint(base) != graph_fingerprint(isolated)
+
+    def test_io_round_trip_changes_nothing(self, tmp_path, gbreg_sample):
+        from repro.graphs.io import read_edge_list, write_edge_list
+
+        graph = gbreg_sample.graph
+        path = tmp_path / "g.edges"
+        write_edge_list(graph, path)
+        assert graph_fingerprint(read_edge_list(path)) == graph_fingerprint(graph)
