@@ -55,8 +55,56 @@ class Compaction:
 
     @property
     def compaction_ratio(self) -> float:
-        """``|V'| / |V|`` — 0.5 for a perfect matching, 1.0 for an empty one."""
+        """``|V'| / |V|`` — 0.5 for a perfect matching, 1.0 for an empty one.
+
+        The empty graph compacts to itself, so its ratio is defined as 1.0
+        (rather than 0/0).
+        """
+        if self.original.num_vertices == 0:
+            return 1.0
         return self.coarse.num_vertices / self.original.num_vertices
+
+    def validate(self) -> None:
+        """Check the uncompaction bookkeeping; raises ``AssertionError`` on drift.
+
+        Verifies that the supervertex membership table is a partition of
+        the original vertex set (no vertex lost or duplicated through an
+        uncompaction round-trip), that ``parent`` is its inverse, and that
+        vertex and edge weight totals are conserved by the contraction.
+        """
+        seen: set[Vertex] = set()
+        for super_v, group in self.members.items():
+            if super_v not in self.coarse:
+                raise AssertionError(f"supervertex {super_v!r} not in coarse graph")
+            if not group:
+                raise AssertionError(f"supervertex {super_v!r} has no members")
+            for v in group:
+                if v in seen:
+                    raise AssertionError(f"vertex {v!r} duplicated across supervertices")
+                seen.add(v)
+                if v not in self.original:
+                    raise AssertionError(f"member {v!r} not in original graph")
+                if self.parent.get(v) != super_v:
+                    raise AssertionError(
+                        f"parent[{v!r}] = {self.parent.get(v)!r} != {super_v!r}"
+                    )
+            member_weight = sum(self.original.vertex_weight(v) for v in group)
+            if self.coarse.vertex_weight(super_v) != member_weight:
+                raise AssertionError(
+                    f"supervertex {super_v!r} weight {self.coarse.vertex_weight(super_v)}"
+                    f" != member total {member_weight}"
+                )
+        missing = set(self.original.vertices()) - seen
+        if missing:
+            raise AssertionError(f"{len(missing)} vertices lost through compaction")
+        internal = sum(
+            w for u, v, w in self.original.edges() if self.parent[u] == self.parent[v]
+        )
+        if self.coarse.total_edge_weight != self.original.total_edge_weight - internal:
+            raise AssertionError(
+                f"coarse edge weight {self.coarse.total_edge_weight} != original "
+                f"{self.original.total_edge_weight} minus contracted {internal}"
+            )
 
     def project(self, coarse_bisection: Bisection) -> Bisection:
         """Uncompact: map a bisection of G' to the induced bisection of G.

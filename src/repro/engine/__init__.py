@@ -18,11 +18,18 @@ from .batch import BatchEntry, read_batch_file, run_batch
 from .cache import ResultCache, cache_key, default_cache_dir
 from .executor import Engine, JobTimeout, execute_job, retry_seed
 from .job import Algorithm, AlgorithmSpec, Job, JobResult
-from .registry import algorithm_names, build_algorithm, register_algorithm
+from .registry import (
+    AlgorithmInfo,
+    algorithm_info,
+    algorithm_names,
+    build_algorithm,
+    register_algorithm,
+)
 from .telemetry import Telemetry, TelemetryEvent, Timer
 
 __all__ = [
     "Algorithm",
+    "AlgorithmInfo",
     "AlgorithmSpec",
     "BatchEntry",
     "Engine",
@@ -33,6 +40,7 @@ __all__ = [
     "Telemetry",
     "TelemetryEvent",
     "Timer",
+    "algorithm_info",
     "algorithm_names",
     "build_algorithm",
     "cache_key",

@@ -18,30 +18,81 @@ exactly ``simulated_annealing(graph, rng=rng)``.
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass
 
 from .job import Algorithm, AlgorithmSpec
 
 __all__ = [
+    "AlgorithmInfo",
+    "algorithm_info",
     "algorithm_names",
     "build_algorithm",
     "register_algorithm",
 ]
 
 _BUILDERS: dict[str, Callable[..., Algorithm]] = {}
+_INFO: dict[str, "AlgorithmInfo"] = {}
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Metadata the verification harness needs to enumerate algorithms.
+
+    ``domain`` says what the callable consumes: ``"graph"`` (a
+    :class:`~repro.graphs.graph.Graph`) or ``"hypergraph"`` (a
+    :class:`~repro.hypergraph.Hypergraph` netlist).  ``max_degree``
+    restricts applicability — e.g. the exact path/cycle solver only
+    accepts graphs of maximum degree 2.  ``stochastic`` is False for
+    algorithms that ignore their ``rng`` entirely (their output is a
+    function of the instance alone).
+    """
+
+    name: str
+    domain: str = "graph"
+    max_degree: int | None = None
+    stochastic: bool = True
+
+    def supports(self, graph) -> bool:
+        """True when ``graph`` satisfies this algorithm's structural limits."""
+        if self.max_degree is None:
+            return True
+        return all(graph.degree(v) <= self.max_degree for v in graph.vertices())
 
 
 def register_algorithm(
-    name: str, builder: Callable[..., Algorithm], overwrite: bool = False
+    name: str,
+    builder: Callable[..., Algorithm],
+    overwrite: bool = False,
+    *,
+    domain: str = "graph",
+    max_degree: int | None = None,
+    stochastic: bool = True,
 ) -> None:
     """Register ``builder`` (kwargs -> algorithm callable) under ``name``."""
+    if domain not in ("graph", "hypergraph"):
+        raise ValueError(f"domain must be 'graph' or 'hypergraph', got {domain!r}")
     if not overwrite and name in _BUILDERS:
         raise ValueError(f"algorithm {name!r} is already registered")
     _BUILDERS[name] = builder
+    _INFO[name] = AlgorithmInfo(
+        name=name, domain=domain, max_degree=max_degree, stochastic=stochastic
+    )
 
 
-def algorithm_names() -> list[str]:
-    """Sorted names of all registered algorithms."""
-    return sorted(_BUILDERS)
+def algorithm_names(domain: str | None = None) -> list[str]:
+    """Sorted names of all registered algorithms (optionally one ``domain``)."""
+    if domain is None:
+        return sorted(_BUILDERS)
+    return sorted(name for name, info in _INFO.items() if info.domain == domain)
+
+
+def algorithm_info(name: str) -> AlgorithmInfo:
+    """Metadata for a registered algorithm; raises ``KeyError`` when unknown."""
+    if name not in _INFO:
+        raise KeyError(
+            f"unknown algorithm {name!r}; registered: {', '.join(algorithm_names())}"
+        )
+    return _INFO[name]
 
 
 def build_algorithm(spec: AlgorithmSpec | str, **params) -> Algorithm:
@@ -156,19 +207,25 @@ def _build_chsa(size_factor: int | None = None) -> Algorithm:
     return lambda hg, rng: compacted_hypergraph_sa(hg, rng=rng, schedule=schedule)
 
 
-for _name, _builder in {
-    "kl": _build_kl,
-    "ckl": _build_ckl,
-    "sa": _build_sa,
-    "csa": _build_csa,
-    "fm": _build_fm,
-    "greedy": _build_greedy,
-    "multilevel": _build_multilevel,
-    "cycles": _build_cycles,
-    "hfm": _build_hfm,
-    "chfm": _build_chfm,
-    "hsa": _build_hsa,
-    "chsa": _build_chsa,
-}.items():
-    register_algorithm(_name, _builder)
-del _name, _builder
+for _name, _builder, _domain, _max_degree, _stochastic in (
+    ("kl", _build_kl, "graph", None, True),
+    ("ckl", _build_ckl, "graph", None, True),
+    ("sa", _build_sa, "graph", None, True),
+    ("csa", _build_csa, "graph", None, True),
+    ("fm", _build_fm, "graph", None, True),
+    ("greedy", _build_greedy, "graph", None, True),
+    ("multilevel", _build_multilevel, "graph", None, True),
+    ("cycles", _build_cycles, "graph", 2, False),
+    ("hfm", _build_hfm, "hypergraph", None, True),
+    ("chfm", _build_chfm, "hypergraph", None, True),
+    ("hsa", _build_hsa, "hypergraph", None, True),
+    ("chsa", _build_chsa, "hypergraph", None, True),
+):
+    register_algorithm(
+        _name,
+        _builder,
+        domain=_domain,
+        max_degree=_max_degree,
+        stochastic=_stochastic,
+    )
+del _name, _builder, _domain, _max_degree, _stochastic

@@ -41,6 +41,12 @@ class HyperSAResult:
     final_temperature: float
     initial_temperature: float
     temperature_trace: list[tuple[float, float, int]] = field(default_factory=list)
+    # Provenance for the verification oracles: the tolerance the run was
+    # asked to honor and the imbalance of the start it was handed (the
+    # compacted variant hands the fine level a projected, possibly
+    # unbalanced start).
+    balance_tolerance: int | None = None
+    initial_imbalance: int | None = None
 
     @property
     def cut(self) -> int:
@@ -113,6 +119,7 @@ def hypergraph_sa(
     initial_cut = cut
     w0 = sum(weight[v] for v in cells if assignment[v] == 0)
     diff = 2 * w0 - hypergraph.total_vertex_weight
+    initial_imbalance = abs(diff)
 
     best_cut = cut if abs(diff) <= balance_tolerance else None
     best_assignment = dict(assignment) if best_cut is not None else None
@@ -201,6 +208,8 @@ def hypergraph_sa(
         final_temperature=temperature,
         initial_temperature=initial_temperature,
         temperature_trace=trace,
+        balance_tolerance=balance_tolerance,
+        initial_imbalance=initial_imbalance,
     )
 
 

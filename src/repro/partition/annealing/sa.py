@@ -52,6 +52,13 @@ class SAResult:
     final_temperature: float
     initial_temperature: float
     temperature_trace: list[tuple[float, float, int]] = field(default_factory=list)
+    # The balance tolerance the run was asked to honor and the imbalance of
+    # the start it was handed — provenance for the verification oracles, which
+    # re-check the returned bisection and gate the best-vs-initial comparison
+    # on whether the walk actually started balanced (a projected coarse start
+    # may not be).
+    balance_tolerance: int | None = None
+    initial_imbalance: int | None = None
 
     @property
     def cut(self) -> int:
@@ -137,6 +144,7 @@ def simulated_annealing(
     initial_cut = cut
     w0, w1 = side_weights(graph, assignment)
     diff = w0 - w1
+    initial_imbalance = abs(diff)
 
     best_cut = cut if abs(diff) <= balance_tolerance else None
     best_assignment = dict(assignment) if best_cut is not None else None
@@ -244,4 +252,6 @@ def simulated_annealing(
         final_temperature=temperature,
         initial_temperature=initial_temperature,
         temperature_trace=trace,
+        balance_tolerance=balance_tolerance,
+        initial_imbalance=initial_imbalance,
     )

@@ -58,6 +58,18 @@ class FMResult:
     def cut(self) -> int:
         return self.bisection.cut
 
+    def cut_trace(self) -> list[int]:
+        """Cut after each applied pass: ``[initial, after pass 1, ...]``.
+
+        Monotone non-increasing whenever the run *started* balanced (a
+        balance-repair pass may trade cut for balance); the verification
+        oracles rely on this.
+        """
+        trace = [self.initial_cut]
+        for gain in self.pass_gains:
+            trace.append(trace[-1] - gain)
+        return trace
+
 
 def _fm_pass(
     graph: Graph,

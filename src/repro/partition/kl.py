@@ -58,6 +58,17 @@ class KLResult:
     def cut(self) -> int:
         return self.bisection.cut
 
+    def cut_trace(self) -> list[int]:
+        """Cut after each applied pass: ``[initial, after pass 1, ...]``.
+
+        The verification oracles check this trace is monotone non-increasing
+        and that its last entry matches the recomputed final cut.
+        """
+        trace = [self.initial_cut]
+        for gain in self.pass_gains:
+            trace.append(trace[-1] - gain)
+        return trace
+
 
 class _SelectState:
     """Per-weight-class selection state: one lazy max-heap per side."""

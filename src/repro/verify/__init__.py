@@ -1,0 +1,78 @@
+"""Verification subsystem: invariant oracles, metamorphic properties, check runner.
+
+Three layers (see ``docs/verification.md``):
+
+* :mod:`repro.verify.invariants` — pure checkers for any
+  ``(instance, partition)`` pair: balance, cut exactness, vertex
+  conservation, compaction round-trips, monotone refinement, SA
+  bookkeeping;
+* :mod:`repro.verify.properties` / :mod:`repro.verify.oracles` — the
+  seeded instance corpus, metamorphic relations between runs, and the
+  brute-force exact oracle for small instances;
+* :mod:`repro.verify.check` — the ``repro-bisect check`` runner that
+  sweeps every registered algorithm over the corpus and renders a
+  pass/fail report.
+
+Both the test suite (``tests/verify/``) and the CLI consume these; the
+oracles never mutate their inputs and draw no hidden randomness.
+"""
+
+from .check import CheckRecord, CheckReport, run_check
+from .invariants import (
+    Violation,
+    balance_tolerance_for,
+    check_balance,
+    check_compaction_provenance,
+    check_cut_exact,
+    check_monotone_refinement,
+    check_result,
+    check_sa_bookkeeping,
+    check_vertex_conservation,
+)
+from .oracles import (
+    EXACT_MAX_VERTICES,
+    ORACLE_BOUNDS,
+    check_against_optimum,
+    exact_optimum,
+    oracle_bound,
+)
+from .properties import (
+    DEFAULT_FAMILIES,
+    Instance,
+    check_cache_equivalence,
+    check_determinism,
+    check_edge_permutation_invariance,
+    check_jobs_equivalence,
+    check_relabeling_invariance,
+    corpus,
+    make_instance,
+)
+
+__all__ = [
+    "CheckRecord",
+    "CheckReport",
+    "DEFAULT_FAMILIES",
+    "EXACT_MAX_VERTICES",
+    "Instance",
+    "ORACLE_BOUNDS",
+    "Violation",
+    "balance_tolerance_for",
+    "check_against_optimum",
+    "check_balance",
+    "check_cache_equivalence",
+    "check_compaction_provenance",
+    "check_cut_exact",
+    "check_determinism",
+    "check_edge_permutation_invariance",
+    "check_jobs_equivalence",
+    "check_monotone_refinement",
+    "check_relabeling_invariance",
+    "check_result",
+    "check_sa_bookkeeping",
+    "check_vertex_conservation",
+    "corpus",
+    "exact_optimum",
+    "make_instance",
+    "oracle_bound",
+    "run_check",
+]

@@ -1,0 +1,282 @@
+"""Metamorphic property harness: seeded corpus + relations between runs.
+
+The corpus (:func:`corpus`) is a deterministic set of small instances
+drawn from the paper's graph families — ``Gnp``, ``Gbreg(d=3)``, random
+trees, planted bisections (``G2set``) — plus cycles (the one family the
+exact path/cycle solver accepts).  Instances are fully determined by
+``(family, n, seed)``, so a failure report names everything needed to
+reproduce it.
+
+The metamorphic relations check *pairs* of runs against each other, no
+ground truth needed:
+
+* **relabeling invariance** — run the algorithm on an isomorphic copy
+  with permuted labels; the partition it returns, mapped back through the
+  isomorphism, must have the same recounted cut and balance on the
+  original graph;
+* **seed determinism** — the same ``(algorithm, instance, seed)`` run
+  twice returns bitwise-identical partitions;
+* **jobs equivalence** — the engine's ``jobs=1`` and ``jobs=N`` paths
+  return identical results for identical job lists;
+* **cache equivalence** — a cache-hit replay equals the original run;
+* **edge-permutation invariance** — a graph rebuilt from a shuffled edge
+  list has the same fingerprint, and any fixed assignment has the same
+  recounted cut on both copies.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..engine import AlgorithmSpec, Engine, Job, ResultCache
+from ..graphs.generators import (
+    cycle_graph,
+    feasible_bisection_widths,
+    g2set,
+    gbreg,
+    gnp,
+    random_tree,
+)
+from ..graphs.graph import Graph, graph_fingerprint
+from ..partition.bisection import cut_weight
+from ..rng import LaggedFibonacciRandom
+from .invariants import Violation, check_balance
+
+__all__ = [
+    "DEFAULT_FAMILIES",
+    "Instance",
+    "corpus",
+    "make_instance",
+    "check_cache_equivalence",
+    "check_determinism",
+    "check_edge_permutation_invariance",
+    "check_jobs_equivalence",
+    "check_relabeling_invariance",
+]
+
+DEFAULT_FAMILIES = ("gnp", "gbreg3", "tree", "planted", "cycle")
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One corpus member: a graph plus the recipe that produced it."""
+
+    name: str
+    family: str
+    graph: Graph
+    seed: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def max_degree(self) -> int:
+        return max((self.graph.degree(v) for v in self.graph.vertices()), default=0)
+
+
+def make_instance(family: str, n: int, seed: int) -> Instance:
+    """Build the deterministic corpus instance ``(family, n, seed)``.
+
+    ``gbreg3`` requires ``n >= 8`` (the model needs ``d < n/2``) and picks
+    the smallest positive planted width the parity constraint allows.
+    """
+    name = f"{family}-n{n}-s{seed}"
+    if family == "gnp":
+        return Instance(name, family, gnp(n, min(1.0, 3.0 / n), seed), seed)
+    if family == "gbreg3":
+        widths = feasible_bisection_widths(n, 3, limit=n)
+        b = next((w for w in widths if w > 0), widths[0])
+        sample = gbreg(n, b, 3, rng=seed)
+        return Instance(name, family, sample.graph, seed, {"planted_width": b})
+    if family == "tree":
+        return Instance(name, family, random_tree(n, seed), seed)
+    if family == "planted":
+        b = max(1, n // 4)
+        sample = g2set(n, 0.5, 0.5, b, rng=seed)
+        return Instance(name, family, sample.graph, seed, {"planted_width": b})
+    if family == "cycle":
+        return Instance(name, family, cycle_graph(n), seed)
+    raise ValueError(f"unknown corpus family {family!r} (known: {DEFAULT_FAMILIES})")
+
+
+def corpus(
+    families: Iterable[str] = DEFAULT_FAMILIES,
+    sizes: Sequence[int] = (10, 16),
+    seeds: Sequence[int] = (0, 1, 2),
+) -> list[Instance]:
+    """The seeded instance corpus: one instance per (family, size, seed)."""
+    instances = []
+    for family in families:
+        for n in sizes:
+            for seed in seeds:
+                instances.append(make_instance(family, n, seed))
+    return instances
+
+
+# -- metamorphic relations ---------------------------------------------------------
+
+
+def permuted_copy(graph: Graph, rng: random.Random) -> tuple[Graph, dict]:
+    """An isomorphic copy with shuffled labels *and* insertion order.
+
+    Returns ``(copy, mapping)`` with ``mapping[original] = new label``.
+    """
+    vertices = list(graph.vertices())
+    labels = list(range(len(vertices)))
+    rng.shuffle(labels)
+    mapping = dict(zip(vertices, labels))
+    order = list(vertices)
+    rng.shuffle(order)
+    copy = Graph()
+    for v in order:
+        copy.add_vertex(mapping[v], graph.vertex_weight(v))
+    edges = [(mapping[u], mapping[v], w) for u, v, w in graph.edges()]
+    rng.shuffle(edges)
+    for u, v, w in edges:
+        copy.add_edge(u, v, w)
+    return copy, mapping
+
+
+def check_relabeling_invariance(
+    algorithm: Callable[[Any, random.Random], Any],
+    graph: Graph,
+    seed: int,
+    permutation_seed: int = 0,
+) -> list[Violation]:
+    """Run on a label-permuted isomorphic copy; verify the result maps back.
+
+    The heuristic is free to return a *different* partition on the copy
+    (tie-breaking follows labels), but whatever it returns must be
+    self-consistent: mapped back through the isomorphism, the partition
+    must recount to the same cut on the original graph and stay balanced.
+    """
+    copy, mapping = permuted_copy(graph, LaggedFibonacciRandom(permutation_seed))
+    result = algorithm(copy, LaggedFibonacciRandom(seed))
+    bisection = result.bisection
+    inverse = {new: old for old, new in mapping.items()}
+    assignment = {inverse[v]: bisection.side_of(v) for v in copy.vertices()}
+    violations = []
+    original_cut = cut_weight(graph, assignment)
+    if original_cut != result.cut:
+        violations.append(Violation(
+            "relabeling",
+            f"cut {result.cut} on the permuted copy recounts to {original_cut} "
+            "on the original graph",
+        ))
+    from ..partition.bisection import Bisection
+
+    violations.extend(check_balance(graph, Bisection(graph, assignment)))
+    return violations
+
+
+def check_determinism(
+    algorithm: Callable[[Any, random.Random], Any],
+    instance: Any,
+    seed: int,
+) -> list[Violation]:
+    """Two runs with the same seed return identical cuts and partitions."""
+    first = algorithm(instance, LaggedFibonacciRandom(seed))
+    second = algorithm(instance, LaggedFibonacciRandom(seed))
+    violations = []
+    if first.cut != second.cut:
+        violations.append(Violation(
+            "determinism", f"seed {seed} gave cuts {first.cut} and {second.cut}",
+        ))
+    if first.bisection.side(0) not in (
+        second.bisection.side(0),
+        second.bisection.side(1),
+    ):
+        violations.append(Violation(
+            "determinism", f"seed {seed} gave different partitions across runs",
+        ))
+    return violations
+
+
+def _job_signature(result) -> tuple:
+    return (result.status, result.cut, result.side0)
+
+
+def check_jobs_equivalence(
+    spec: AlgorithmSpec,
+    graph: Graph,
+    seeds: Sequence[int],
+    jobs: int = 2,
+) -> list[Violation]:
+    """The engine's serial and parallel paths return identical results.
+
+    Runs the same job list through ``Engine(jobs=1)`` and
+    ``Engine(jobs=jobs)`` (caching disabled) and compares status, cut,
+    and the side-0 token tuple of every job.  The engine's documented
+    serial fallback (restricted environments without working process
+    pools) keeps this meaningful everywhere: the fallback path *is* the
+    serial path, so the comparison degrades to a determinism check.
+    """
+    job_list = [
+        Job("g", spec, seed, job_id=f"s{seed}") for seed in seeds
+    ]
+    serial = Engine(jobs=1).run(job_list, {"g": graph})
+    parallel = Engine(jobs=jobs).run(job_list, {"g": graph})
+    violations = []
+    for left, right in zip(serial, parallel):
+        if _job_signature(left) != _job_signature(right):
+            violations.append(Violation(
+                "jobs-equivalence",
+                f"job {left.job_id}: jobs=1 gave (status={left.status}, "
+                f"cut={left.cut}) but jobs={jobs} gave (status={right.status}, "
+                f"cut={right.cut}) or a different partition",
+            ))
+    return violations
+
+
+def check_cache_equivalence(
+    spec: AlgorithmSpec,
+    graph: Graph,
+    seed: int,
+    cache_dir: str,
+) -> list[Violation]:
+    """A cache-hit replay equals the original computation bit for bit."""
+    job = Job("g", spec, seed, job_id="cached")
+    first = Engine(jobs=1, cache=ResultCache(cache_dir)).run([job], {"g": graph})[0]
+    second = Engine(jobs=1, cache=ResultCache(cache_dir)).run([job], {"g": graph})[0]
+    violations = []
+    if first.ok and not second.from_cache:
+        violations.append(Violation(
+            "cache-equivalence", f"second run of seed {seed} missed the cache",
+        ))
+    if _job_signature(first) != _job_signature(second):
+        violations.append(Violation(
+            "cache-equivalence",
+            f"cache replay of seed {seed} differs: cut {first.cut} -> "
+            f"{second.cut}",
+        ))
+    return violations
+
+
+def check_edge_permutation_invariance(graph: Graph, seed: int = 0) -> list[Violation]:
+    """A graph rebuilt from a shuffled edge list is the same graph.
+
+    Checks the canonical fingerprint and the recounted cut of a fixed
+    reference assignment (alternating sides in vertex order) on both
+    copies.
+    """
+    rng = LaggedFibonacciRandom(seed)
+    edges = [(u, v, w) for u, v, w in graph.edges()]
+    rng.shuffle(edges)
+    rebuilt = Graph()
+    for v in graph.vertices():
+        rebuilt.add_vertex(v, graph.vertex_weight(v))
+    for u, v, w in edges:
+        rebuilt.add_edge(u, v, w)
+    violations = []
+    if graph_fingerprint(rebuilt) != graph_fingerprint(graph):
+        violations.append(Violation(
+            "edge-permutation", "fingerprint changed under edge-list permutation",
+        ))
+    reference = {v: i % 2 for i, v in enumerate(graph.vertices())}
+    if cut_weight(graph, reference) != cut_weight(rebuilt, reference):
+        violations.append(Violation(
+            "edge-permutation",
+            "cut of a fixed assignment changed under edge-list permutation",
+        ))
+    return violations

@@ -9,6 +9,20 @@ from repro.graphs.graph import Graph
 from repro.rng import LaggedFibonacciRandom
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every test not explicitly marked slow/property is tier 1.
+
+    The explicit ``tier1`` marker therefore exists for selection symmetry
+    (``-m tier1`` runs exactly what the default ``-m 'not slow and not
+    property'`` run does), not because anyone has to remember to apply it.
+    """
+    for item in items:
+        if not any(
+            item.get_closest_marker(name) for name in ("tier1", "slow", "property")
+        ):
+            item.add_marker(pytest.mark.tier1)
+
+
 @pytest.fixture(autouse=True)
 def _isolated_result_cache(tmp_path, monkeypatch):
     """Keep engine result-cache traffic out of the user's ~/.cache."""

@@ -1,0 +1,174 @@
+"""The ``check`` runner and CLI: reports, JSON schema, and exit codes.
+
+The load-bearing test here registers deliberately broken algorithms (a
+cut liar, an unbalancer, a crasher) and asserts the runner actually
+catches them — a verification harness that never fails is worthless.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import registry
+from repro.engine.registry import register_algorithm
+from repro.partition.bisection import Bisection
+from repro.partition.kl import kernighan_lin
+from repro.verify import run_check
+
+
+@pytest.fixture()
+def scratch_registry():
+    """Snapshot and restore the process-global algorithm registry."""
+    builders = dict(registry._BUILDERS)
+    info = dict(registry._INFO)
+    yield
+    registry._BUILDERS.clear()
+    registry._BUILDERS.update(builders)
+    registry._INFO.clear()
+    registry._INFO.update(info)
+
+
+class _FakeResult:
+    def __init__(self, bisection, cut):
+        self.bisection = bisection
+        self.cut = cut
+
+
+def _build_cut_liar():
+    def run(graph, rng):
+        result = kernighan_lin(graph, rng=rng)
+        return _FakeResult(result.bisection, result.cut + 1)
+
+    return run
+
+
+def _build_unbalancer():
+    def run(graph, rng):
+        vertices = list(graph.vertices())
+        assignment = {v: 0 for v in vertices}
+        assignment[vertices[-1]] = 1
+        return _FakeResult(Bisection(graph, assignment), None)
+
+    return run
+
+
+def _build_crasher():
+    def run(graph, rng):
+        raise RuntimeError("kaboom")
+
+    return run
+
+
+def test_quick_check_is_clean():
+    report = run_check(
+        algorithms=["kl", "ckl"], sizes=(10,), seeds=(0,), jobs=1
+    )
+    assert report.ok
+    assert report.counts()["fail"] == 0
+    assert not report.failures()
+
+
+def test_check_catches_a_cut_liar(scratch_registry):
+    register_algorithm("liar", _build_cut_liar)
+    report = run_check(
+        algorithms=["liar"], sizes=(10,), seeds=(0,),
+        include_exact=False, include_metamorphic=False,
+    )
+    assert not report.ok
+    assert any("cut-exact" in v for r in report.failures() for v in r.violations)
+
+
+def test_check_catches_an_unbalanced_partition(scratch_registry):
+    register_algorithm("lopsided", _build_unbalancer)
+    report = run_check(
+        algorithms=["lopsided"], sizes=(10,), seeds=(0,),
+        include_exact=False, include_metamorphic=False,
+    )
+    assert not report.ok
+    assert any("balance" in v for r in report.failures() for v in r.violations)
+
+
+def test_check_records_a_crash_as_a_failure(scratch_registry):
+    register_algorithm("crasher", _build_crasher)
+    report = run_check(
+        algorithms=["crasher"], families=("gnp",), sizes=(10,), seeds=(0,),
+        include_exact=False, include_metamorphic=False,
+    )
+    assert not report.ok
+    assert any("crash: RuntimeError" in v for r in report.failures() for v in r.violations)
+
+
+def test_check_skips_unsupported_instances():
+    report = run_check(
+        algorithms=["cycles"], families=("gnp", "cycle"), sizes=(10,), seeds=(0,),
+        include_exact=False, include_metamorphic=False,
+    )
+    assert report.ok  # skips are not failures
+    statuses = {r.instance: r.status for r in report.records}
+    assert statuses["cycle-n10-s0"] == "ok"
+    assert statuses["gnp-n10-s0"] == "skip"
+    skip = next(r for r in report.records if r.status == "skip")
+    assert "max degree" in skip.note
+
+
+def test_json_report_schema(tmp_path):
+    report = run_check(
+        algorithms=["kl"], sizes=(10,), seeds=(0,), include_metamorphic=False
+    )
+    payload = report.to_json()
+    assert payload["version"] == 1
+    assert payload["ok"] is True
+    assert set(payload["summary"]) == {"ok", "fail", "skip", "sections"}
+    assert payload["summary"]["ok"] == len(
+        [r for r in payload["records"] if r["status"] == "ok"]
+    )
+    record = payload["records"][0]
+    assert set(record) == {
+        "section", "algorithm", "instance", "seed", "status",
+        "seconds", "cut", "violations", "note",
+    }
+    # The payload round-trips through JSON unchanged.
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_render_lists_failures(scratch_registry):
+    register_algorithm("liar", _build_cut_liar)
+    report = run_check(
+        algorithms=["liar"], families=("tree",), sizes=(10,), seeds=(0,),
+        include_exact=False, include_metamorphic=False,
+    )
+    rendered = report.render()
+    assert "FAIL invariants/liar on tree-n10-s0" in rendered
+    assert "0 ok, 1 fail" in rendered
+
+
+def test_cli_check_exits_zero_when_clean(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = main([
+        "check", "--quick", "--algorithm", "kl", "--no-metamorphic",
+        "--json", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is True
+    assert "repro-bisect check" in capsys.readouterr().out
+
+
+def test_cli_check_exits_nonzero_on_violation(scratch_registry, capsys):
+    register_algorithm("liar", _build_cut_liar)
+    code = main([
+        "check", "--quick", "--algorithm", "liar",
+        "--no-exact", "--no-metamorphic",
+    ])
+    assert code == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_cli_check_rejects_unknown_names(capsys):
+    assert main(["check", "--algorithm", "nope"]) == 2
+    assert "unknown algorithm" in capsys.readouterr().err
+    assert main(["check", "--family", "bogus"]) == 2
+    assert "unknown corpus family" in capsys.readouterr().err

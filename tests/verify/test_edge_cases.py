@@ -1,0 +1,100 @@
+"""Degenerate instances through the full stack: empty, tiny, odd, disconnected.
+
+Regressions found while building the verification subsystem: the
+compaction ratio of an empty graph used to divide by zero, and nothing
+exercised the compaction round-trip on disconnected graphs or graphs
+with isolated vertices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compaction import compact
+from repro.core.matching import random_maximal_matching
+from repro.core.pipeline import ckl
+from repro.engine import AlgorithmSpec, build_algorithm
+from repro.graphs.graph import Graph
+from repro.partition.kl import kernighan_lin
+from repro.rng import LaggedFibonacciRandom
+from repro.verify import balance_tolerance_for, check_result
+
+ALGORITHMS = ("kl", "fm", "ckl", "greedy", "multilevel")
+
+
+def _algorithm(name):
+    return build_algorithm(AlgorithmSpec.make(name))
+
+
+def _disconnected():
+    """Two K3 components plus two isolated vertices (n = 8)."""
+    graph = Graph.from_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+    graph.add_vertex(6)
+    graph.add_vertex(7)
+    return graph
+
+
+def test_empty_graph_compaction_ratio_is_one():
+    graph = Graph()
+    compaction = compact(graph, random_maximal_matching(graph, LaggedFibonacciRandom(0)))
+    assert compaction.compaction_ratio == 1.0
+    compaction.validate()
+
+
+def test_empty_graph_bisection_raises_cleanly():
+    with pytest.raises(ValueError, match="empty graph"):
+        ckl(Graph(), rng=0)
+    with pytest.raises(ValueError, match="empty graph"):
+        kernighan_lin(Graph(), rng=0)
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+def test_single_edge_graph(name):
+    """K2 has exactly one balanced bisection and it cuts the edge."""
+    graph = Graph.from_edges([(0, 1)])
+    result = _algorithm(name)(graph, LaggedFibonacciRandom(0))
+    assert result.cut == 1
+    assert not check_result(graph, result)
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+@pytest.mark.parametrize("n", (3, 5, 7))
+def test_odd_vertex_counts_balance_within_one(name, n):
+    graph = Graph.from_edges([(i, i + 1) for i in range(n - 1)])
+    assert balance_tolerance_for(graph) == 1
+    result = _algorithm(name)(graph, LaggedFibonacciRandom(0))
+    sides = result.bisection
+    assert abs(len(sides.side(0)) - len(sides.side(1))) == 1
+    assert not check_result(graph, result)
+
+
+@pytest.mark.parametrize("name", ALGORITHMS)
+@pytest.mark.parametrize("seed", (0, 1, 2))
+def test_disconnected_graph_with_isolated_vertices(name, seed):
+    """Components and degree-0 vertices survive compaction and refinement."""
+    graph = _disconnected()
+    result = _algorithm(name)(graph, LaggedFibonacciRandom(seed))
+    violations = check_result(graph, result)
+    assert not violations, "; ".join(str(v) for v in violations)
+
+
+@pytest.mark.parametrize("seed", (0, 1, 2, 3))
+def test_disconnected_compaction_round_trip(seed):
+    """Compaction on a disconnected graph conserves vertices and weights."""
+    graph = _disconnected()
+    rng = LaggedFibonacciRandom(seed)
+    compaction = compact(graph, random_maximal_matching(graph, rng))
+    compaction.validate()
+    assert compaction.coarse.total_vertex_weight == graph.total_vertex_weight
+    members = [v for group in compaction.members.values() for v in group]
+    assert sorted(members) == sorted(graph.vertices())
+
+
+def test_two_vertex_graph_without_edges():
+    """A cut of zero is legitimate when the two sides share no edge."""
+    graph = Graph()
+    graph.add_vertex(0)
+    graph.add_vertex(1)
+    result = _algorithm("kl")(graph, LaggedFibonacciRandom(0))
+    assert result.cut == 0
+    assert not check_result(graph, result)

@@ -1,0 +1,76 @@
+"""Heuristics vs. the brute-force optimum on instances small enough to solve.
+
+On graphs with n <= 12 the true bisection width comes from exhaustive
+search, so every heuristic is held to ``cut <= factor * optimum + slack``
+with the per-algorithm bounds in ``ORACLE_BOUNDS``.  A failure names the
+family, size, and seed so the offending instance is reproducible with one
+``make_instance`` call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import AlgorithmSpec, build_algorithm
+from repro.partition.dfs_cycle import bisect_paths_and_cycles
+from repro.rng import LaggedFibonacciRandom
+from repro.verify import check_against_optimum, exact_optimum, make_instance, oracle_bound
+
+SEEDS = (0, 1, 2)
+FAMILIES = ("gnp", "gbreg3", "tree", "planted")
+ALGORITHMS = ("kl", "fm", "ckl", "sa")
+
+
+def _algorithm(name):
+    params = {"size_factor": 1} if name == "sa" else {}
+    return build_algorithm(AlgorithmSpec.make(name, **params))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("name", ALGORITHMS)
+@pytest.mark.parametrize("n", (10, 12))
+def test_heuristic_within_documented_bound_of_optimum(name, family, n, seed):
+    instance = make_instance(family, n, seed)
+    optimum = exact_optimum(instance.graph)
+    result = _algorithm(name)(instance.graph, LaggedFibonacciRandom(seed))
+    violations = check_against_optimum(
+        name, result.cut, optimum, context=f"{instance.name} seed={seed}"
+    )
+    factor, slack = oracle_bound(name)
+    assert not violations, (
+        f"{name} on {instance.name} seed={seed}: cut {result.cut} vs optimum "
+        f"{optimum} (bound {factor} * opt + {slack}); reproduce with "
+        f"make_instance({family!r}, {n}, {seed})"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("n", (8, 10, 12))
+def test_cycles_solver_is_exact(n, seed):
+    """The path/cycle solver must hit the optimum, not just a bound."""
+    instance = make_instance("cycle", n, seed)
+    optimum = exact_optimum(instance.graph)
+    bisection = bisect_paths_and_cycles(instance.graph)
+    assert bisection.cut == optimum, (
+        f"cycles on {instance.name}: cut {bisection.cut} != optimum {optimum}"
+    )
+
+
+def test_oracle_rejects_cut_below_optimum():
+    """A cut cheaper than the proven optimum is flagged as a correctness bug."""
+    violations = check_against_optimum("kl", 1, 3, context="synthetic")
+    assert violations and "below the proven optimum" in str(violations[0])
+
+
+def test_oracle_rejects_cut_above_bound():
+    factor, slack = oracle_bound("kl")
+    too_high = int(factor * 4 + slack) + 1
+    violations = check_against_optimum("kl", too_high, 4)
+    assert violations and "exceeds the documented bound" in str(violations[0])
+
+
+def test_exact_optimum_rejects_large_graphs():
+    instance = make_instance("gnp", 16, 0)
+    with pytest.raises(ValueError, match="capped"):
+        exact_optimum(instance.graph)
