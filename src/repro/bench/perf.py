@@ -1,0 +1,354 @@
+"""CSR-vs-dict performance snapshots (the ``repro-bisect perf`` command).
+
+The CSR fast path (:mod:`repro.graphs.csr`) promises two things: *bitwise
+identical* results to the dict kernels, and a wall-clock win worth its
+complexity.  This module measures the second promise and spot-checks the
+first.  Each paper workload (``Gbreg``/``Gnp`` at 2n = 500/2000/5000) is
+run through KL, FM, SA, CKL, and CSA twice from the same seed — once on
+the CSR path, once with ``REPRO_NO_CSR=1`` — and the per-algorithm wall
+time, cut, and moves/second land in a ``BENCH_<n>.json`` snapshot.  The
+cuts from the two paths must agree exactly; a mismatch marks the whole
+snapshot failed, because it means the fast path changed behaviour.
+
+Snapshots from different machines are not comparable in absolute seconds,
+so :func:`diff_snapshots` compares the *speedup ratios* (CSR time over
+dict time measured on the same machine in the same process), which are
+machine-independent to first order.  A regression is a cell whose new
+speedup fell more than ``threshold`` below the old one::
+
+    new_speedup < old_speedup * (1 - threshold)
+
+SA and CSA run with ``record_trace=False``: the harness times the walk,
+not the diagnostic bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Callable, Iterable
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..core.pipeline import CompactedResult, ckl, csa
+from ..graphs.csr import csr_view
+from ..graphs.generators import gbreg, gnp_with_degree
+from ..graphs.graph import Graph
+from ..partition.annealing import AnnealingSchedule, simulated_annealing
+from ..partition.fm import fiduccia_mattheyses
+from ..partition.kl import kernighan_lin
+from ..rng import resolve_rng
+from .tables import render_generic_table
+
+__all__ = [
+    "PERF_ALGORITHMS",
+    "PERF_SIZES",
+    "SMALL_SIZES",
+    "PerfCase",
+    "SNAPSHOT_SCHEMA",
+    "diff_snapshots",
+    "load_snapshot",
+    "measure_size",
+    "perf_cases",
+    "render_diff",
+    "render_snapshot",
+    "snapshot_path",
+    "write_snapshot",
+]
+
+SNAPSHOT_SCHEMA = 1
+
+PERF_ALGORITHMS = ("kl", "fm", "sa", "ckl", "csa")
+
+# The paper's random-graph sizes (2n): Section VI uses 500-vertex graphs
+# for the dense sweeps and 2000/5000 for the headline tables.
+PERF_SIZES = (500, 2000, 5000)
+SMALL_SIZES = (500, 2000)
+
+_GBREG_DEGREE = 3
+_GNP_DEGREE = 2.5
+
+
+@dataclass(frozen=True)
+class PerfCase:
+    """One timed workload: a label and a seeded graph builder."""
+
+    label: str
+    build: Callable[[object], Graph]
+
+
+def _gbreg_width(two_n: int) -> int:
+    """The planted width used at this size (16, parity-fixed for d=3)."""
+    b = 16
+    return b if ((two_n // 2) * _GBREG_DEGREE - b) % 2 == 0 else b + 1
+
+
+def perf_cases(two_n: int) -> list[PerfCase]:
+    """The two paper families timed at size ``two_n``."""
+    b = _gbreg_width(two_n)
+    return [
+        PerfCase(
+            label=f"Gbreg({two_n},{b},{_GBREG_DEGREE})",
+            build=lambda rng, two_n=two_n, b=b: gbreg(two_n, b, _GBREG_DEGREE, rng).graph,
+        ),
+        PerfCase(
+            label=f"Gnp({two_n},deg{_GNP_DEGREE})",
+            build=lambda rng, two_n=two_n: gnp_with_degree(two_n, _GNP_DEGREE, rng),
+        ),
+    ]
+
+
+@contextmanager
+def _forced_dict_path():
+    """Temporarily set ``REPRO_NO_CSR=1`` (restores the prior value)."""
+    prior = os.environ.get("REPRO_NO_CSR")
+    os.environ["REPRO_NO_CSR"] = "1"
+    try:
+        yield
+    finally:
+        if prior is None:
+            del os.environ["REPRO_NO_CSR"]
+        else:
+            os.environ["REPRO_NO_CSR"] = prior
+
+
+def _move_count(result) -> int:
+    """A per-algorithm progress counter, for moves/second.
+
+    KL counts swaps, FM counts moves, SA counts attempted moves; the
+    compacted pipelines sum their coarse and fine stages.
+    """
+    if isinstance(result, CompactedResult):
+        return _move_count(result.coarse_result) + _move_count(result.final_result)
+    for attr in ("swaps", "moves", "moves_attempted"):
+        value = getattr(result, attr, None)
+        if value is not None:
+            return value
+    return 0
+
+
+def _run_algorithm(name: str, graph: Graph, seed: int, sa_size_factor: int):
+    """One seeded run; returns ``(seconds, cut, moves)``."""
+    rng = resolve_rng(seed)
+    schedule = AnnealingSchedule(size_factor=sa_size_factor)
+    start = time.perf_counter()
+    if name == "kl":
+        result = kernighan_lin(graph, rng=rng)
+    elif name == "fm":
+        result = fiduccia_mattheyses(graph, rng=rng)
+    elif name == "sa":
+        result = simulated_annealing(
+            graph, rng=rng, schedule=schedule, record_trace=False
+        )
+    elif name == "ckl":
+        result = ckl(graph, rng=rng)
+    elif name == "csa":
+        result = csa(graph, rng=rng, schedule=schedule, record_trace=False)
+    else:
+        raise ValueError(f"unknown perf algorithm {name!r}")
+    seconds = time.perf_counter() - start
+    return seconds, result.bisection.cut, _move_count(result)
+
+
+def _best_run(name, graph, seed, sa_size_factor, repeats):
+    """Repeat a run, keeping the minimum wall time (cut/moves are seeded,
+    so they are identical across repeats)."""
+    best_seconds, cut, moves = _run_algorithm(name, graph, seed, sa_size_factor)
+    for _ in range(repeats - 1):
+        seconds, _, _ = _run_algorithm(name, graph, seed, sa_size_factor)
+        best_seconds = min(best_seconds, seconds)
+    return best_seconds, cut, moves
+
+
+def measure_size(
+    two_n: int,
+    seed: int = 0,
+    sa_size_factor: int = 4,
+    algorithms: Iterable[str] = PERF_ALGORITHMS,
+    repeats: int = 1,
+) -> dict:
+    """Measure every case x algorithm cell at one size; returns a snapshot.
+
+    The CSR view is compiled once per case *outside* the timed region
+    (recorded as ``csr_compile_seconds``): in real use one compile is
+    amortized over a whole run/table sweep, and charging it to whichever
+    algorithm happened to go first would distort per-algorithm ratios.
+    """
+    cases = []
+    ok = True
+    for case in perf_cases(two_n):
+        graph = case.build(resolve_rng(seed))
+        start = time.perf_counter()
+        csr_view(graph)
+        compile_seconds = time.perf_counter() - start
+        cells: dict[str, dict] = {}
+        for name in algorithms:
+            csr_seconds, csr_cut, moves = _best_run(
+                name, graph, seed, sa_size_factor, repeats
+            )
+            with _forced_dict_path():
+                dict_seconds, dict_cut, dict_moves = _best_run(
+                    name, graph, seed, sa_size_factor, repeats
+                )
+            cuts_match = csr_cut == dict_cut and moves == dict_moves
+            ok = ok and cuts_match
+            cells[name] = {
+                "csr_seconds": csr_seconds,
+                "dict_seconds": dict_seconds,
+                "speedup": dict_seconds / csr_seconds if csr_seconds > 0 else 0.0,
+                "cut": csr_cut,
+                "moves": moves,
+                "csr_moves_per_sec": moves / csr_seconds if csr_seconds > 0 else 0.0,
+                "dict_moves_per_sec": moves / dict_seconds if dict_seconds > 0 else 0.0,
+                "cuts_match": cuts_match,
+            }
+        cases.append(
+            {
+                "label": case.label,
+                "vertices": graph.num_vertices,
+                "edges": graph.num_edges,
+                "csr_compile_seconds": compile_seconds,
+                "algorithms": cells,
+            }
+        )
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "size": two_n,
+        "seed": seed,
+        "sa_size_factor": sa_size_factor,
+        "repeats": repeats,
+        "ok": ok,
+        "cases": cases,
+    }
+
+
+def snapshot_path(directory: str, two_n: int) -> str:
+    return os.path.join(directory, f"BENCH_{two_n}.json")
+
+
+def write_snapshot(snapshot: dict, directory: str) -> str:
+    """Write ``BENCH_<n>.json`` under ``directory``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = snapshot_path(directory, snapshot["size"])
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_snapshot(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    schema = snapshot.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported perf snapshot schema {schema!r} "
+            f"(expected {SNAPSHOT_SCHEMA})"
+        )
+    return snapshot
+
+
+def diff_snapshots(old: dict, new: dict, threshold: float = 0.25) -> dict:
+    """Compare two snapshots by speedup ratio; flag regressions.
+
+    Ratios, not absolute seconds: both runs of a cell happen back to back
+    on one machine, so ``dict_seconds / csr_seconds`` cancels the machine
+    out and an old snapshot from CI remains a valid baseline for a rerun
+    on different hardware.  Cells present in only one snapshot are listed
+    under ``missing`` and do not fail the diff (workloads evolve).
+    """
+    old_cells = {
+        (case["label"], name): cell
+        for case in old["cases"]
+        for name, cell in case["algorithms"].items()
+    }
+    new_cells = {
+        (case["label"], name): cell
+        for case in new["cases"]
+        for name, cell in case["algorithms"].items()
+    }
+    regressions = []
+    compared = []
+    for key in sorted(old_cells.keys() & new_cells.keys()):
+        old_speedup = old_cells[key]["speedup"]
+        new_speedup = new_cells[key]["speedup"]
+        entry = {
+            "label": key[0],
+            "algorithm": key[1],
+            "old_speedup": old_speedup,
+            "new_speedup": new_speedup,
+        }
+        compared.append(entry)
+        if new_speedup < old_speedup * (1.0 - threshold):
+            regressions.append(entry)
+    missing = [
+        {"label": label, "algorithm": name}
+        for label, name in sorted(old_cells.keys() ^ new_cells.keys())
+    ]
+    return {
+        "threshold": threshold,
+        "compared": compared,
+        "regressions": regressions,
+        "missing": missing,
+        "ok": not regressions,
+    }
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Human-readable table for one snapshot."""
+    rows = []
+    for case in snapshot["cases"]:
+        for name, cell in case["algorithms"].items():
+            rows.append(
+                [
+                    case["label"],
+                    name,
+                    f"{cell['dict_seconds']:.3f}",
+                    f"{cell['csr_seconds']:.3f}",
+                    f"{cell['speedup']:.2f}x",
+                    cell["cut"],
+                    f"{cell['csr_moves_per_sec']:,.0f}",
+                    "yes" if cell["cuts_match"] else "NO",
+                ]
+            )
+    title = (
+        f"perf 2n={snapshot['size']} seed={snapshot['seed']} "
+        f"sa_size_factor={snapshot['sa_size_factor']}"
+    )
+    return render_generic_table(
+        ["graph", "algo", "dict(s)", "csr(s)", "speedup", "cut", "moves/s", "match"],
+        rows,
+        title=title,
+    )
+
+
+def render_diff(report: dict) -> str:
+    """Human-readable table for a :func:`diff_snapshots` report."""
+    rows = [
+        [
+            entry["label"],
+            entry["algorithm"],
+            f"{entry['old_speedup']:.2f}x",
+            f"{entry['new_speedup']:.2f}x",
+            "REGRESSED" if entry in report["regressions"] else "ok",
+        ]
+        for entry in report["compared"]
+    ]
+    for entry in report["missing"]:
+        rows.append([entry["label"], entry["algorithm"], "-", "-", "missing"])
+    lines = [
+        render_generic_table(
+            ["graph", "algo", "old speedup", "new speedup", "status"],
+            rows,
+            title=f"perf diff (threshold {report['threshold']:.0%})",
+        )
+    ]
+    if report["regressions"]:
+        lines.append(
+            f"{len(report['regressions'])} cell(s) regressed beyond "
+            f"{report['threshold']:.0%}"
+        )
+    else:
+        lines.append("no regressions")
+    return "\n".join(lines)

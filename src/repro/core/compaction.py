@@ -115,11 +115,11 @@ class Compaction:
         """
         if coarse_bisection.graph is not self.coarse and coarse_bisection.graph != self.coarse:
             raise ValueError("bisection does not belong to this compaction's coarse graph")
-        assignment: dict[Vertex, int] = {}
-        for super_v, group in self.members.items():
-            side = coarse_bisection.side_of(super_v)
-            for v in group:
-                assignment[v] = side
+        # One dict-comprehension pass over the parent map (C-level loop)
+        # instead of nested Python loops over the member groups.
+        coarse_sides = coarse_bisection.assignment()
+        coarse_get = coarse_sides.__getitem__
+        assignment = {v: coarse_get(p) for v, p in self.parent.items()}
         return Bisection(self.original, assignment)
 
 

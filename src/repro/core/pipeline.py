@@ -171,13 +171,19 @@ def csa(
     matching_policy: MatchingPolicy = random_maximal_matching,
     schedule: AnnealingSchedule | None = None,
     cost: BalanceCost | None = None,
+    record_trace: bool = True,
 ) -> CompactedResult:
-    """Compacted simulated annealing (the paper's CSA)."""
+    """Compacted simulated annealing (the paper's CSA).
+
+    ``record_trace`` is forwarded to both SA stages (coarse and final).
+    """
     kwargs: dict[str, Any] = {}
     if schedule is not None:
         kwargs["schedule"] = schedule
     if cost is not None:
         kwargs["cost"] = cost
+    if not record_trace:
+        kwargs["record_trace"] = False
     return compacted_bisection(
         graph, simulated_annealing, rng=rng, matching_policy=matching_policy, **kwargs
     )

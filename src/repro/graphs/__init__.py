@@ -1,5 +1,6 @@
 """Graph substrate: data structure, generators, traversal, properties, I/O."""
 
+from .csr import CSRGraph, cached_csr, csr_enabled, csr_view
 from .graph import Graph, graph_fingerprint, vertex_token
 from .properties import (
     degree_histogram,
@@ -25,6 +26,10 @@ from .traversal import (
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "cached_csr",
+    "csr_enabled",
+    "csr_view",
     "graph_fingerprint",
     "vertex_token",
     "bfs_order",

@@ -1,0 +1,291 @@
+"""Array-backed CSR view of a :class:`~repro.graphs.graph.Graph`.
+
+The dict-of-dicts adjacency map is the right construction-time structure,
+but its hashed label lookups dominate every profile of the KL/FM/SA inner
+loops.  :class:`CSRGraph` is a frozen compressed-sparse-row snapshot of a
+graph — contiguous integer vertex ids and flat ``indptr`` / ``indices`` /
+``edge_weight`` / ``vertex_weight`` arrays (``array('q')``) — that the hot
+kernels index instead.  It is compiled once per graph, cached on the
+:class:`Graph` instance, and invalidated automatically by any mutation.
+
+Determinism contract (what makes the CSR kernels *bitwise-equivalent* to
+the dict kernels):
+
+* vertex ids follow the graph's insertion order, so every loop that walks
+  ``graph.vertices()`` — gain initialization, RNG-driven vertex draws —
+  visits the same vertices in the same order on both paths;
+* :attr:`CSRGraph.rank` maps each id to the position of its label in
+  *sorted label order*.  The dict kernels' heaps break gain ties by
+  comparing labels; the CSR kernels break them by comparing ranks, which
+  orders identically.  When labels are not mutually comparable (the heaps
+  of the dict path would fail on a tie anyway) ``rank`` is ``None`` and
+  the label-ordering kernels fall back to the dict path.
+
+The ``REPRO_NO_CSR=1`` environment variable is the escape hatch: it
+disables every CSR fast path, which the equivalence test matrix uses to
+prove both paths produce identical cuts, assignments, and traces.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections.abc import Mapping
+from itertools import compress
+from operator import mul, ne
+
+from .graph import Graph, Vertex
+
+__all__ = [
+    "CSRGraph",
+    "cached_csr",
+    "csr_cut_weight",
+    "csr_enabled",
+    "csr_move_gains",
+    "csr_side_weights",
+    "csr_view",
+]
+
+
+def csr_enabled() -> bool:
+    """True unless the ``REPRO_NO_CSR`` escape hatch is active.
+
+    Any non-empty value other than ``0`` disables the CSR fast paths.
+    Checked at kernel entry (not import time) so tests can flip it per
+    call.
+    """
+    return os.environ.get("REPRO_NO_CSR", "0") in ("", "0")
+
+
+class CSRGraph:
+    """Frozen CSR snapshot of a graph (see module docstring).
+
+    The canonical storage is four ``array('q')`` buffers; the kernels ask
+    for plain-list mirrors (:meth:`neighbor_lists`, :meth:`adjacency_maps`,
+    ...) which are materialized lazily and cached, because list indexing
+    avoids the int re-boxing cost of ``array`` subscripts in hot loops.
+
+    >>> g = Graph.from_edges([("a", "b"), ("b", "c")])
+    >>> view = csr_view(g)
+    >>> view.num_vertices, view.num_edges
+    (3, 2)
+    >>> list(view.indptr)
+    [0, 1, 3, 4]
+    >>> [view.labels[i] for i in view.indices]
+    ['b', 'a', 'c', 'b']
+    """
+
+    __slots__ = (
+        "labels",
+        "index_of",
+        "rank",
+        "by_rank",
+        "indptr",
+        "indices",
+        "edge_weight",
+        "vertex_weight",
+        "heads",
+        "num_vertices",
+        "num_edges",
+        "total_edge_weight",
+        "total_vertex_weight",
+        "max_weighted_degree",
+        "unit_edge_weights",
+        "unit_vertex_weights",
+        "_lists",
+    )
+
+    def __init__(self, graph: Graph) -> None:
+        labels = list(graph.vertices())
+        n = len(labels)
+        index_of: dict[Vertex, int] = {v: i for i, v in enumerate(labels)}
+
+        indptr = array("q", [0] * (n + 1))
+        indices = array("q")
+        edge_weight = array("q")
+        heads = array("q")
+        vertex_weight = array("q", (graph.vertex_weight(v) for v in labels))
+
+        max_wd = 0
+        unit_edges = True
+        for i, v in enumerate(labels):
+            wd = 0
+            for u, w in graph.adjacency(v).items():
+                indices.append(index_of[u])
+                edge_weight.append(w)
+                heads.append(i)
+                wd += w
+                if w != 1:
+                    unit_edges = False
+            indptr[i + 1] = len(indices)
+            if wd > max_wd:
+                max_wd = wd
+
+        try:
+            by_rank = sorted(range(n), key=labels.__getitem__)
+        except TypeError:
+            rank = by_rank = None  # labels not mutually comparable
+        else:
+            rank = [0] * n
+            for position, i in enumerate(by_rank):
+                rank[i] = position
+
+        self.labels = labels
+        self.index_of = index_of
+        self.rank = rank
+        self.by_rank = by_rank
+        self.indptr = indptr
+        self.indices = indices
+        self.edge_weight = edge_weight
+        self.vertex_weight = vertex_weight
+        self.heads = heads
+        self.num_vertices = n
+        self.num_edges = graph.num_edges
+        self.total_edge_weight = graph.total_edge_weight
+        self.total_vertex_weight = sum(vertex_weight)
+        self.max_weighted_degree = max_wd
+        self.unit_edge_weights = unit_edges
+        self.unit_vertex_weights = all(w == 1 for w in vertex_weight)
+        self._lists: dict[str, object] = {}
+
+    # -- lazy plain-list mirrors for the kernels ----------------------------------
+
+    def _list(self, name: str, build) -> list:
+        cached = self._lists.get(name)
+        if cached is None:
+            cached = build()
+            self._lists[name] = cached
+        return cached
+
+    def neighbor_lists(self) -> list[list[int]]:
+        """Per-vertex neighbor-id lists (``indices`` sliced by ``indptr``)."""
+
+        def build() -> list[list[int]]:
+            flat = list(self.indices)
+            ptr = self.indptr
+            return [flat[ptr[i] : ptr[i + 1]] for i in range(self.num_vertices)]
+
+        return self._list("neighbors", build)
+
+    def weight_lists(self) -> list[list[int]]:
+        """Per-vertex edge-weight lists, parallel to :meth:`neighbor_lists`."""
+
+        def build() -> list[list[int]]:
+            flat = list(self.edge_weight)
+            ptr = self.indptr
+            return [flat[ptr[i] : ptr[i + 1]] for i in range(self.num_vertices)]
+
+        return self._list("weights", build)
+
+    def adjacency_maps(self) -> list[dict[int, int]]:
+        """Per-vertex ``neighbor id -> edge weight`` dicts (O(1) pair lookups)."""
+
+        def build() -> list[dict[int, int]]:
+            nbrs = self.neighbor_lists()
+            wts = self.weight_lists()
+            return [dict(zip(nbrs[i], wts[i])) for i in range(self.num_vertices)]
+
+        return self._list("adjacency", build)
+
+    def weighted_degrees(self) -> list[int]:
+        """Per-vertex sums of incident edge weights."""
+
+        def build() -> list[int]:
+            if self.unit_edge_weights:
+                ptr = self.indptr
+                return [ptr[i + 1] - ptr[i] for i in range(self.num_vertices)]
+            wts = self.weight_lists()
+            return [sum(row) for row in wts]
+
+        return self._list("weighted_degrees", build)
+
+    def vertex_weight_list(self) -> list[int]:
+        """Plain-list mirror of the ``vertex_weight`` array."""
+        return self._list("vertex_weights", lambda: list(self.vertex_weight))
+
+    def head_tail_lists(self) -> tuple[list[int], list[int], list[int]]:
+        """``(heads, indices, edge_weight)`` as lists — one row per directed slot."""
+
+        def build() -> tuple[list[int], list[int], list[int]]:
+            return list(self.heads), list(self.indices), list(self.edge_weight)
+
+        return self._list("head_tail", build)
+
+    # -- assignment translation ---------------------------------------------------
+
+    def sides_list(self, assignment: Mapping[Vertex, int]) -> list[int]:
+        """The label-keyed side map as an id-indexed list."""
+        get = assignment.__getitem__
+        return [get(v) for v in self.labels]
+
+    def assignment_dict(self, sides: list[int]) -> dict[Vertex, int]:
+        """An id-indexed side list as a label-keyed dict (insertion order)."""
+        return dict(zip(self.labels, sides))
+
+
+def csr_view(graph: Graph) -> CSRGraph:
+    """The graph's CSR snapshot, compiling and caching it on first use."""
+    derived = graph._derived
+    csr = derived.get("csr")
+    if csr is None:
+        csr = CSRGraph(graph)
+        derived["csr"] = csr
+    return csr
+
+
+def cached_csr(graph: Graph) -> CSRGraph | None:
+    """The cached CSR snapshot, or ``None`` — never triggers a compile.
+
+    Fast-path helpers (:func:`csr_cut_weight` callers like
+    ``cut_weight``) use this so that casual one-off queries on a graph
+    no one is partitioning do not pay the compile.
+    """
+    return graph._derived.get("csr")
+
+
+def csr_move_gains(csr: CSRGraph, sides: list[int]) -> list[int]:
+    """Per-vertex move gains (cut reduction of flipping each vertex alone).
+
+    The shared gain-initialization of the KL and FM kernels; inner sums run
+    at C level (``sum(map(...))``).
+    """
+    n = csr.num_vertices
+    sides_get = sides.__getitem__
+    nbrs = csr.neighbor_lists()
+    gains = [0] * n
+    if csr.unit_edge_weights:
+        for i in range(n):
+            row = nbrs[i]
+            s1 = sum(map(sides_get, row))
+            gains[i] = 2 * s1 - len(row) if sides[i] == 0 else len(row) - 2 * s1
+    else:
+        wts = csr.weight_lists()
+        wdeg = csr.weighted_degrees()
+        for i in range(n):
+            s1 = sum(map(mul, wts[i], map(sides_get, nbrs[i])))
+            gains[i] = 2 * s1 - wdeg[i] if sides[i] == 0 else wdeg[i] - 2 * s1
+    return gains
+
+
+def csr_cut_weight(csr: CSRGraph, sides: list[int]) -> int:
+    """Cut weight of the partition ``sides`` (id-indexed 0/1 list).
+
+    Scans the directed-slot arrays with C-level ``map``/``compress``
+    pipelines; every directed edge is counted once per endpoint, hence the
+    final halving.
+    """
+    heads, tails, weights = csr.head_tail_lists()
+    get = sides.__getitem__
+    crossing = map(ne, map(get, heads), map(get, tails))
+    if csr.unit_edge_weights:
+        return sum(crossing) // 2
+    return sum(compress(weights, crossing)) // 2
+
+
+def csr_side_weights(csr: CSRGraph, sides: list[int]) -> tuple[int, int]:
+    """Total vertex weight on side 0 and side 1 of ``sides``."""
+    if csr.unit_vertex_weights:
+        w1 = sum(sides)
+        return csr.num_vertices - w1, w1
+    w1 = sum(compress(csr.vertex_weight_list(), sides))
+    return csr.total_vertex_weight - w1, w1

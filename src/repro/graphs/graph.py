@@ -52,6 +52,9 @@ def graph_fingerprint(graph: "Graph") -> str:
     >>> graph_fingerprint(a) == graph_fingerprint(b)
     True
     """
+    cached = graph._derived.get("fingerprint")
+    if cached is not None:
+        return cached
     digest = hashlib.sha256()
     vertex_lines = sorted(
         f"v {vertex_token(v)} {graph.vertex_weight(v)}" for v in graph.vertices()
@@ -66,7 +69,9 @@ def graph_fingerprint(graph: "Graph") -> str:
     for line in edge_lines:
         digest.update(line.encode("utf-8"))
         digest.update(b"\n")
-    return digest.hexdigest()
+    fingerprint = digest.hexdigest()
+    graph._derived["fingerprint"] = fingerprint
+    return fingerprint
 
 
 class Graph:
@@ -81,13 +86,17 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_adj", "_vertex_weight", "_num_edges", "_total_edge_weight")
+    __slots__ = ("_adj", "_vertex_weight", "_num_edges", "_total_edge_weight", "_derived")
 
     def __init__(self) -> None:
         self._adj: dict[Vertex, dict[Vertex, int]] = {}
         self._vertex_weight: dict[Vertex, int] = {}
         self._num_edges = 0
         self._total_edge_weight = 0
+        # Content-derived snapshots (canonical fingerprint, CSR view) keyed by
+        # name; every mutation clears the dict, so an entry is always in sync
+        # with the current vertex/edge set.
+        self._derived: dict[str, object] = {}
 
     # -- construction -------------------------------------------------------------
 
@@ -121,6 +130,9 @@ class Graph:
         g._vertex_weight = dict(self._vertex_weight)
         g._num_edges = self._num_edges
         g._total_edge_weight = self._total_edge_weight
+        # Derived snapshots are immutable and content-addressed, so the copy
+        # can share them until its first mutation clears its own dict.
+        g._derived = dict(self._derived)
         return g
 
     # -- mutation -----------------------------------------------------------------
@@ -132,6 +144,8 @@ class Graph:
         if v not in self._adj:
             self._adj[v] = {}
         self._vertex_weight[v] = weight
+        if self._derived:
+            self._derived.clear()
 
     def add_edge(self, u: Vertex, v: Vertex, weight: int = 1, *, merge: bool = False) -> None:
         """Add the undirected edge ``{u, v}``; endpoints are created as needed.
@@ -160,6 +174,8 @@ class Graph:
             self._adj[v][u] = weight
             self._num_edges += 1
             self._total_edge_weight += weight
+        if self._derived:
+            self._derived.clear()
 
     def remove_edge(self, u: Vertex, v: Vertex) -> None:
         """Remove the edge ``{u, v}``; raises ``KeyError`` if absent."""
@@ -167,6 +183,8 @@ class Graph:
         del self._adj[v][u]
         self._num_edges -= 1
         self._total_edge_weight -= weight
+        if self._derived:
+            self._derived.clear()
 
     def remove_vertex(self, v: Vertex) -> None:
         """Remove ``v`` and all incident edges; raises ``KeyError`` if absent."""
@@ -174,6 +192,8 @@ class Graph:
             self.remove_edge(u, v)
         del self._adj[v]
         del self._vertex_weight[v]
+        if self._derived:
+            self._derived.clear()
 
     # -- queries ------------------------------------------------------------------
 

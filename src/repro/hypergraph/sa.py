@@ -89,8 +89,13 @@ def hypergraph_sa(
     schedule: AnnealingSchedule | None = None,
     cost: BalanceCost | None = None,
     balance_tolerance: int | None = None,
+    record_trace: bool = True,
 ) -> HyperSAResult:
-    """Bisect a netlist (minimizing net cut) with simulated annealing."""
+    """Bisect a netlist (minimizing net cut) with simulated annealing.
+
+    ``record_trace=False`` skips collecting ``temperature_trace`` (purely
+    diagnostic; the walk itself is unaffected).
+    """
     if hypergraph.num_vertices == 0:
         raise ValueError("cannot bisect the empty hypergraph")
     rng = resolve_rng(rng)
@@ -179,7 +184,8 @@ def hypergraph_sa(
         attempted += attempted_here
         accepted += accepted_here
         ratio = accepted_here / attempted_here if attempted_here else 0.0
-        trace.append((temperature, ratio, cut))
+        if record_trace:
+            trace.append((temperature, ratio, cut))
         temperatures += 1
         if ratio < schedule.min_acceptance and not improved_best:
             stale += 1

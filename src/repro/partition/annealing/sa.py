@@ -23,8 +23,18 @@ import math
 import random
 from dataclasses import dataclass, field
 
+from operator import mul
+
+from ...graphs.csr import (
+    CSRGraph,
+    csr_cut_weight,
+    csr_enabled,
+    csr_move_gains,
+    csr_side_weights,
+    csr_view,
+)
 from ...graphs.graph import Graph
-from ...rng import resolve_rng
+from ...rng import LaggedFibonacciRandom, resolve_rng
 from ..bisection import Bisection, cut_weight, default_tolerance, rebalance, side_weights
 from ..random_init import random_assignment
 from .cost import BalanceCost
@@ -41,7 +51,9 @@ class SAResult:
     the best near-balanced incumbent if the walk never touched an exactly
     balanced state).  ``temperature_trace`` holds
     ``(temperature, acceptance_ratio, current_cut)`` per cooling step for
-    schedule diagnostics.
+    schedule diagnostics; it is empty when the run was started with
+    ``record_trace=False`` (long anneals on large graphs otherwise hold
+    O(temperatures) tuples nobody reads — the perf harness opts out).
     """
 
     bisection: Bisection
@@ -97,6 +109,217 @@ def _sample_initial_temperature(
     return estimate_initial_temperature(deltas, schedule.initial_acceptance)
 
 
+def _sample_initial_temperature_csr(
+    csr: CSRGraph,
+    sides: list[int],
+    diff: int,
+    cost: BalanceCost,
+    schedule: AnnealingSchedule,
+    rng: random.Random,
+) -> float:
+    """CSR twin of :func:`_sample_initial_temperature`.
+
+    Consumes the same ``rng.randrange`` draws over the same insertion-order
+    vertex indexing and funnels each trial through ``cost.move_delta``
+    verbatim, so the estimated T0 is bit-identical to the dict path's.
+    """
+    n = csr.num_vertices
+    sides_get = sides.__getitem__
+    nbrs = csr.neighbor_lists()
+    wts = None if csr.unit_edge_weights else csr.weight_lists()
+    wdeg = csr.weighted_degrees()
+    vweights = csr.vertex_weight_list()
+    randrange = rng.randrange
+    deltas = []
+    sample_size = min(max(200, n), 4 * n)
+    for _ in range(sample_size):
+        i = randrange(n)
+        row = nbrs[i]
+        if wts is None:
+            s1 = sum(map(sides_get, row))
+        else:
+            s1 = sum(map(mul, wts[i], map(sides_get, row)))
+        # cut_delta is (same-side weight) - (other-side weight), as in the
+        # dict kernel's accumulation.
+        cut_delta = wdeg[i] - 2 * s1 if sides[i] == 0 else 2 * s1 - wdeg[i]
+        signed_weight = vweights[i] if sides[i] == 0 else -vweights[i]
+        delta = cost.move_delta(cut_delta, diff, signed_weight)
+        if delta > 0:
+            deltas.append(delta)
+    return estimate_initial_temperature(deltas, schedule.initial_acceptance)
+
+
+def _anneal_flip_csr(
+    graph: Graph,
+    assignment: dict,
+    rng: random.Random,
+    schedule: AnnealingSchedule,
+    cost: BalanceCost,
+    balance_tolerance: int,
+    record_trace: bool,
+) -> SAResult:
+    """The flip-neighborhood Metropolis walk over the CSR view.
+
+    Bit-identical to the dict loop in :func:`simulated_annealing`: vertex
+    ids follow insertion order so ``randrange`` draws pick the same
+    vertices, ``rng.random()`` is consumed under exactly the same
+    condition (``delta > 0``), and every float expression is written in
+    the same order.  What changes is the per-move cost: the neighbor scan
+    is a C-level ``sum(map(...))`` over a flat id list instead of a
+    label-hashing dict walk, and saving a new best is a list copy instead
+    of a dict copy.
+    """
+    csr = csr_view(graph)
+    n = csr.num_vertices
+    sides = csr.sides_list(assignment)
+    nbrs = csr.neighbor_lists()
+    wts = None if csr.unit_edge_weights else csr.weight_lists()
+    vweights = csr.vertex_weight_list()
+
+    cut = csr_cut_weight(csr, sides)
+    initial_cut = cut
+    w0, w1 = csr_side_weights(csr, sides)
+    diff = w0 - w1
+    initial_imbalance = abs(diff)
+
+    best_cut = cut if abs(diff) <= balance_tolerance else None
+    best_sides = sides.copy() if best_cut is not None else None
+
+    temperature = _sample_initial_temperature_csr(csr, sides, diff, cost, schedule, rng)
+    initial_temperature = temperature
+    moves_per_temp = schedule.moves_per_temperature(n)
+    cutoff = schedule.acceptance_cutoff(n)
+
+    attempted = accepted = 0
+    temperatures = 0
+    stale = 0
+    trace: list[tuple[float, float, int]] = []
+
+    rand = rng.random
+    # randrange(n) delegates to _randbelow(n) for positive int n in every
+    # random.Random; binding it directly skips the wrapper on the hottest
+    # call in the package while consuming the identical draws.
+    randbelow = rng._randbelow
+    alpha = cost.alpha
+    exp = math.exp
+
+    # When the generator is our own lagged Fibonacci, inline its recurrence
+    # into the move loop — the two method calls per attempted move are the
+    # single largest cost left.  The inlined draws are the exact draws the
+    # methods would produce (same rejection loop for randbelow, same 53-bit
+    # float for random); rng._index is written back after the walk so the
+    # generator state is indistinguishable from having called the methods.
+    inline_lfg = type(rng) is LaggedFibonacciRandom
+    if inline_lfg:
+        table = rng._table
+        idx = rng._index
+        kbits = n.bit_length()
+        shift = 64 - kbits
+        mask = (1 << 64) - 1
+        scale = 2.0 ** -53
+
+    # cdelta[i] = cut change of flipping vertex i, maintained incrementally:
+    # an *attempt* is then one list read instead of a neighbor scan, and an
+    # accepted flip updates only the mover's neighborhood.
+    cdelta = [-g for g in csr_move_gains(csr, sides)]
+
+    while not schedule.is_frozen(stale, temperature):
+        if temperatures >= schedule.max_temperatures:
+            break
+        accepted_here = 0
+        attempted_here = 0
+        improved_best = False
+        for _ in range(moves_per_temp):
+            if cutoff is not None and accepted_here >= cutoff:
+                break  # Johnson's cutoff: this temperature has equilibrated
+            attempted_here += 1
+            if inline_lfg:
+                while True:  # x[n] = x[n-24] + x[n-55] mod 2^64, reject >= n
+                    value = (table[idx - 24] + table[idx - 55]) & mask
+                    table[idx] = value
+                    idx += 1
+                    if idx == 55:
+                        idx = 0
+                    i = value >> shift
+                    if i < n:
+                        break
+            else:
+                i = randbelow(n)
+            side_v = sides[i]
+            cut_delta = cdelta[i]
+            wv = vweights[i]
+            new_diff = diff - 2 * wv if side_v == 0 else diff + 2 * wv
+            delta = cut_delta + alpha * (new_diff * new_diff - diff * diff)
+            if delta > 0:
+                if inline_lfg:
+                    value = (table[idx - 24] + table[idx - 55]) & mask
+                    table[idx] = value
+                    idx += 1
+                    if idx == 55:
+                        idx = 0
+                    u01 = (value >> 11) * scale
+                else:
+                    u01 = rand()
+                if u01 >= exp(-delta / temperature):
+                    continue
+            sides[i] = 1 - side_v
+            cut += cut_delta
+            diff = new_diff
+            accepted_here += 1
+            cdelta[i] = -cut_delta
+            row = nbrs[i]
+            if wts is None:
+                for u in row:
+                    # u and i were same-side before the flip iff
+                    # sides[u] == side_v; that edge is now cut.
+                    cdelta[u] += -2 if sides[u] == side_v else 2
+            else:
+                wrow = wts[i]
+                for slot, u in enumerate(row):
+                    w2 = 2 * wrow[slot]
+                    cdelta[u] += -w2 if sides[u] == side_v else w2
+            if abs(diff) <= balance_tolerance and (
+                best_cut is None or cut < best_cut
+            ):
+                best_cut = cut
+                best_sides = sides.copy()
+                improved_best = True
+        attempted += attempted_here
+        accepted += accepted_here
+        ratio = accepted_here / attempted_here if attempted_here else 0.0
+        if record_trace:
+            trace.append((temperature, ratio, cut))
+        temperatures += 1
+        if ratio < schedule.min_acceptance and not improved_best:
+            stale += 1
+        else:
+            stale = 0
+        temperature = schedule.next_temperature(temperature)
+
+    if inline_lfg:
+        rng._index = idx
+
+    if best_sides is None:
+        best_assignment = rebalance(
+            graph, csr.assignment_dict(sides), balance_tolerance, rng
+        )
+    else:
+        best_assignment = csr.assignment_dict(best_sides)
+
+    return SAResult(
+        bisection=Bisection(graph, best_assignment),
+        initial_cut=initial_cut,
+        temperatures=temperatures,
+        moves_attempted=attempted,
+        moves_accepted=accepted,
+        final_temperature=temperature,
+        initial_temperature=initial_temperature,
+        temperature_trace=trace,
+        balance_tolerance=balance_tolerance,
+        initial_imbalance=initial_imbalance,
+    )
+
+
 def simulated_annealing(
     graph: Graph,
     init: Bisection | None = None,
@@ -105,6 +328,7 @@ def simulated_annealing(
     cost: BalanceCost | None = None,
     balance_tolerance: int | None = None,
     neighborhood: str = "flip",
+    record_trace: bool = True,
 ) -> SAResult:
     """Bisect ``graph`` with simulated annealing.
 
@@ -118,6 +342,14 @@ def simulated_annealing(
     (exchange one vertex from each side — on unit-weight graphs balance
     never changes, at the cost of slower mixing; the classic tradeoff
     the imbalance-penalty design exists to avoid).
+
+    ``record_trace=False`` skips collecting ``temperature_trace`` (the
+    run itself is unaffected — the trace is purely diagnostic).
+
+    The flip neighborhood runs on the graph's CSR view when enabled
+    (``REPRO_NO_CSR=1`` disables): every decision is RNG- and
+    arithmetic-driven over the same insertion-order vertex indexing, so
+    the walk is bit-identical to the dict path's.
     """
     if neighborhood not in ("flip", "swap"):
         raise ValueError(f"neighborhood must be 'flip' or 'swap', got {neighborhood!r}")
@@ -135,6 +367,11 @@ def simulated_annealing(
         assignment = init.assignment()
     else:
         assignment = random_assignment(graph, rng)
+
+    if neighborhood == "flip" and csr_enabled():
+        return _anneal_flip_csr(
+            graph, assignment, rng, schedule, cost, balance_tolerance, record_trace
+        )
 
     vertices = list(graph.vertices())
     n = len(vertices)
@@ -230,7 +467,8 @@ def simulated_annealing(
         attempted += attempted_here
         accepted += accepted_here
         ratio = accepted_here / attempted_here if attempted_here else 0.0
-        trace.append((temperature, ratio, cut))
+        if record_trace:
+            trace.append((temperature, ratio, cut))
         temperatures += 1
         if ratio < schedule.min_acceptance and not improved_best:
             stale += 1

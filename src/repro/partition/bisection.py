@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from collections.abc import Hashable, Iterable, Mapping
 
+from ..graphs.csr import cached_csr, csr_cut_weight, csr_enabled, csr_side_weights
 from ..graphs.graph import Graph
 
 __all__ = [
@@ -33,7 +34,16 @@ Vertex = Hashable
 
 
 def cut_weight(graph: Graph, assignment: Mapping[Vertex, int]) -> int:
-    """Total weight of edges crossing the partition described by ``assignment``."""
+    """Total weight of edges crossing the partition described by ``assignment``.
+
+    Uses the graph's CSR view when one is already compiled (the partition
+    drivers compile it eagerly); a one-off query on a cold graph keeps the
+    plain edge walk rather than paying a compile it would not amortize.
+    """
+    if csr_enabled():
+        csr = cached_csr(graph)
+        if csr is not None:
+            return csr_cut_weight(csr, csr.sides_list(assignment))
     total = 0
     for u, v, w in graph.edges():
         if assignment[u] != assignment[v]:
@@ -43,6 +53,10 @@ def cut_weight(graph: Graph, assignment: Mapping[Vertex, int]) -> int:
 
 def side_weights(graph: Graph, assignment: Mapping[Vertex, int]) -> tuple[int, int]:
     """Total vertex weight on side 0 and side 1."""
+    if csr_enabled():
+        csr = cached_csr(graph)
+        if csr is not None:
+            return csr_side_weights(csr, csr.sides_list(assignment))
     w0 = w1 = 0
     for v in graph.vertices():
         if assignment[v] == 0:

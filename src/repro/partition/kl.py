@@ -18,18 +18,32 @@ candidates are scanned in decreasing ``g_a + g_b`` order and the scan
 stops as soon as that upper bound cannot beat the best concrete pair.  On
 bounded-degree graphs each selection touches O(1) candidates, making a
 pass effectively ``O(|E| log |V|)`` instead of the textbook ``O(n^2)``.
+Candidates examined but not chosen park in a sorted *pending* queue that
+is merged with the heap on the next selection, instead of being re-pushed
+(and later re-sifted) with an identical fresh tuple every round.
 
 Weighted (contracted) graphs: to preserve exact balance, only pairs of
 equal vertex weight are exchanged — each weight class gets its own pair
 of heaps, and each step picks the best pair across classes.
+
+Two implementations of the pass share this selection logic: the
+label-keyed dict kernel below, and an integer-id kernel over the graph's
+:class:`~repro.graphs.csr.CSRGraph` view with packed ``(gain, rank)``
+integer heap keys.  The CSR kernel is chosen automatically (escape hatch:
+``REPRO_NO_CSR=1``) and produces bit-identical results: ids follow
+insertion order and heap ties break by label *rank*, which orders exactly
+like the dict kernel's label comparisons.
 """
 
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
+from operator import mul
 
+from ..graphs.csr import CSRGraph, csr_enabled, csr_move_gains, csr_view
 from ..graphs.graph import Graph
 from ..rng import resolve_rng
 from .bisection import Bisection, cut_weight
@@ -70,63 +84,90 @@ class KLResult:
         return trace
 
 
-class _SelectState:
-    """Per-weight-class selection state: one lazy max-heap per side."""
+# -- dict kernel -------------------------------------------------------------------
 
-    __slots__ = ("heaps",)
+
+class _SelectState:
+    """Per-weight-class selection state: a lazy max-heap per side, plus a
+    sorted *pending* queue of already-popped, still-fresh candidates.
+
+    ``next_entry`` yields entries in globally ascending ``(-gain, v)``
+    order by merging the two: pending holds candidates a previous
+    selection examined and did not choose, so returning them costs O(1)
+    instead of a ``heappush``/``heappop`` round trip per selection round.
+    """
+
+    __slots__ = ("heaps", "pending")
 
     def __init__(self) -> None:
         self.heaps: tuple[list, list] = ([], [])
+        self.pending: tuple[deque, deque] = (deque(), deque())
 
     def push(self, side: int, gain: int, v) -> None:
         heappush(self.heaps[side], (-gain, v))
 
-    def pop_valid(self, side: int, gains: dict, locked: set):
-        """Pop the highest-gain unlocked, non-stale vertex on ``side`` (or None)."""
+    def next_entry(self, side: int, gains: dict, locked: set):
+        """The next unlocked, non-stale ``(-gain, v)`` entry on ``side`` (or None)."""
         heap = self.heaps[side]
-        while heap:
-            neg_gain, v = heappop(heap)
+        pend = self.pending[side]
+        while True:
+            if pend:
+                entry = heappop(heap) if heap and heap[0] < pend[0] else pend.popleft()
+            elif heap:
+                entry = heappop(heap)
+            else:
+                return None
+            neg_gain, v = entry
             if v not in locked and gains[v] == -neg_gain:
-                return v
-        return None
+                return entry
+
+    def park(self, side: int, entries: list, chosen) -> None:
+        """Return unchosen popped entries (ascending order) to the pending front."""
+        self.pending[side].extendleft(
+            entry for entry in reversed(entries) if entry[1] is not chosen
+        )
 
 
 def _select_pair(state: _SelectState, gains: dict, locked: set, graph: Graph):
     """Best unlocked pair (a on side 0, b on side 1) within one weight class.
 
-    Returns ``(pair_gain, a, b, leftovers)`` where ``leftovers`` are popped
-    candidates that must be pushed back, or ``None`` if a side is exhausted.
+    Returns ``(pair_gain, a, b)`` or ``None`` when the class cannot supply
+    a pair.  Examined-but-unchosen candidates are parked back on the
+    state's pending queues (gains unchanged, so the popped entries stay
+    valid as-is — only stale entries ever leave the structure for good).
     """
     a_cands: list = []
     b_cands: list = []
 
     def extend(side: int, cands: list) -> bool:
-        v = state.pop_valid(side, gains, locked)
-        if v is None:
+        entry = state.next_entry(side, gains, locked)
+        if entry is None:
             return False
-        cands.append(v)
+        cands.append(entry)
         return True
 
     if not extend(0, a_cands) or not extend(1, b_cands):
-        leftovers = a_cands + b_cands
-        return None if not leftovers else (None, None, None, leftovers)
+        state.park(0, a_cands, None)
+        state.park(1, b_cands, None)
+        return None
 
     best_gain = _NEG_INF
     best_a = best_b = None
-    top_b_gain = gains[b_cands[0]]
+    top_b_gain = -b_cands[0][0]
 
     i = 0
     while i < len(a_cands):
-        a = a_cands[i]
-        if best_a is not None and gains[a] + top_b_gain <= best_gain:
+        a = a_cands[i][1]
+        gain_a = -a_cands[i][0]
+        if best_a is not None and gain_a + top_b_gain <= best_gain:
             break
         adj_a = graph.adjacency(a)
         j = 0
         while True:
             if j >= len(b_cands) and not extend(1, b_cands):
                 break
-            b = b_cands[j]
-            upper = gains[a] + gains[b]
+            b = b_cands[j][1]
+            upper = gain_a - b_cands[j][0]
             if best_a is not None and upper <= best_gain:
                 break
             pair_gain = upper - 2 * adj_a.get(b, 0)
@@ -138,20 +179,18 @@ def _select_pair(state: _SelectState, gains: dict, locked: set, graph: Graph):
             # Pull the next A candidate only if it could still matter.
             if not extend(0, a_cands):
                 break
-            if gains[a_cands[-1]] + top_b_gain <= best_gain:
+            if -a_cands[-1][0] + top_b_gain <= best_gain:
                 break
 
-    leftovers = [v for v in a_cands + b_cands if v is not best_a and v is not best_b]
-    return best_gain, best_a, best_b, leftovers
+    state.park(0, a_cands, best_a)
+    state.park(1, b_cands, best_b)
+    if best_a is None:
+        return None
+    return best_gain, best_a, best_b
 
 
-def kl_pass(graph: Graph, assignment: dict) -> tuple[int, int]:
-    """Run one Kernighan-Lin pass, mutating ``assignment``.
-
-    Returns ``(applied_gain, swaps_applied)``: the cut reduction achieved
-    by exchanging the best prefix of the pair sequence, and the number of
-    pairs exchanged (0 when the pass found no improvement).
-    """
+def _kl_pass_dict(graph: Graph, assignment: dict) -> tuple[int, int]:
+    """One KL pass over the dict-of-dicts adjacency (reference kernel)."""
     gains: dict = {}
     for v in graph.vertices():
         side_v = assignment[v]
@@ -175,11 +214,7 @@ def kl_pass(graph: Graph, assignment: dict) -> tuple[int, int]:
             selected = _select_pair(state, gains, locked, graph)
             if selected is None:
                 continue
-            gain, a, b, leftovers = selected
-            for v in leftovers:
-                state.push(assignment[v], gains[v], v)
-            if a is None:
-                continue
+            gain, a, b = selected
             if best is None or gain > best[0]:
                 if best is not None:
                     # Un-choose the previous class's pair: push its pair back.
@@ -222,6 +257,380 @@ def kl_pass(graph: Graph, assignment: dict) -> tuple[int, int]:
     return best_total, best_k
 
 
+# -- CSR kernel --------------------------------------------------------------------
+#
+# Heap entries are single ints: key = (B - gain) * n + rank, where B is the
+# graph's maximum weighted degree (a bound on |gain| at all times) and rank
+# orders ids by label.  Ascending int order is exactly ascending (-gain,
+# label) tuple order, so pops agree with the dict kernel entry for entry —
+# at one machine-int comparison per sift instead of a tuple compare.
+#
+# Selection only has to *return* the same pair as the dict kernel, not pop
+# the same entries: the chosen pair is a pure function of the current
+# gains/locked state (argmax in (gain desc, label asc) scan order with
+# strict improvement), and stale heap entries are inert until discarded.
+# That freedom lets this kernel check the g_ab <= g_a + g_b bound *before*
+# pulling another candidate, so on sparse graphs — where the two top
+# candidates are usually not adjacent and therefore already optimal — a
+# selection costs exactly two pops and one adjacency probe.
+
+
+def _kl_sequence_csr_single(csr: CSRGraph, sides: list[int], gains: list[int]):
+    """Pair sequence for the single-weight-class case, fully inlined."""
+    n = csr.num_vertices
+    rank = csr.rank
+    by_rank = csr.by_rank
+    nbrs = csr.neighbor_lists()
+    unit = csr.unit_edge_weights
+    wts = None if unit else csr.weight_lists()
+    adj_maps = csr.adjacency_maps()
+    B = csr.max_weighted_degree
+
+    heap0: list[int] = []
+    heap1: list[int] = []
+    for i in range(n):
+        (heap1 if sides[i] else heap0).append((B - gains[i]) * n + rank[i])
+    heap0.sort()  # a sorted list is a valid heap; cheaper than n sifts
+    heap1.sort()
+    pend0: deque = deque()
+    pend1: deque = deque()
+
+    locked = bytearray(n)
+    sequence: list[tuple[int, int, int]] = []  # (a, b, pair_gain)
+    push = heappush
+    pop = heappop
+
+    while True:
+        # Top unlocked, non-stale candidate on each side (heap/pending merge).
+        while True:
+            if pend0:
+                ak = pop(heap0) if heap0 and heap0[0] < pend0[0] else pend0.popleft()
+            elif heap0:
+                ak = pop(heap0)
+            else:
+                ak = -1
+                break
+            va = by_rank[ak % n]
+            if not locked[va] and gains[va] == B - ak // n:
+                break
+        if ak < 0:
+            break
+        while True:
+            if pend1:
+                bk = pop(heap1) if heap1 and heap1[0] < pend1[0] else pend1.popleft()
+            elif heap1:
+                bk = pop(heap1)
+            else:
+                bk = -1
+                break
+            vb = by_rank[bk % n]
+            if not locked[vb] and gains[vb] == B - bk // n:
+                break
+        if bk < 0:
+            pend0.appendleft(ak)
+            break
+
+        gain_a = B - ak // n
+        top_b_gain = B - bk // n
+        best_gain = gain_a + top_b_gain - 2 * adj_maps[va].get(vb, 0)
+        best_ak, best_bk = ak, bk
+        a_keys = [ak]
+        b_keys = [bk]
+
+        if best_gain < gain_a + top_b_gain:
+            # Top pair is adjacent: scan in (g_a desc, g_b desc) order until
+            # the g_a + g_b upper bound can no longer beat the best pair.
+            i = 0
+            while True:
+                if i == len(a_keys):
+                    if B - a_keys[-1] // n + top_b_gain <= best_gain:
+                        break
+                    while True:  # pull the next a candidate
+                        if pend0:
+                            ak = (
+                                pop(heap0)
+                                if heap0 and heap0[0] < pend0[0]
+                                else pend0.popleft()
+                            )
+                        elif heap0:
+                            ak = pop(heap0)
+                        else:
+                            ak = -1
+                            break
+                        v = by_rank[ak % n]
+                        if not locked[v] and gains[v] == B - ak // n:
+                            break
+                    if ak < 0:
+                        break
+                    a_keys.append(ak)
+                ak = a_keys[i]
+                gain_a = B - ak // n
+                if gain_a + top_b_gain <= best_gain:
+                    break
+                adj_a = adj_maps[by_rank[ak % n]]
+                j = 0
+                while True:
+                    if j == len(b_keys):
+                        if gain_a + (B - b_keys[-1] // n) <= best_gain:
+                            break
+                        while True:  # pull the next b candidate
+                            if pend1:
+                                bk = (
+                                    pop(heap1)
+                                    if heap1 and heap1[0] < pend1[0]
+                                    else pend1.popleft()
+                                )
+                            elif heap1:
+                                bk = pop(heap1)
+                            else:
+                                bk = -1
+                                break
+                            v = by_rank[bk % n]
+                            if not locked[v] and gains[v] == B - bk // n:
+                                break
+                        if bk < 0:
+                            break
+                        b_keys.append(bk)
+                    bk = b_keys[j]
+                    upper = gain_a + B - bk // n
+                    if upper <= best_gain:
+                        break
+                    pair_gain = upper - 2 * adj_a.get(by_rank[bk % n], 0)
+                    if pair_gain > best_gain:
+                        best_gain, best_ak, best_bk = pair_gain, ak, bk
+                    j += 1
+                i += 1
+
+        if len(a_keys) > 1 or a_keys[0] != best_ak:
+            pend0.extendleft(k for k in reversed(a_keys) if k != best_ak)
+        if len(b_keys) > 1 or b_keys[0] != best_bk:
+            pend1.extendleft(k for k in reversed(b_keys) if k != best_bk)
+
+        a = by_rank[best_ak % n]
+        b = by_rank[best_bk % n]
+        locked[a] = locked[b] = 1
+        sequence.append((a, b, best_gain))
+
+        for moved in (a, b):
+            side_moved = sides[moved]
+            row = nbrs[moved]
+            if unit:
+                for u in row:
+                    if locked[u]:
+                        continue
+                    g = gains[u] + (2 if sides[u] == side_moved else -2)
+                    gains[u] = g
+                    push(heap1 if sides[u] else heap0, (B - g) * n + rank[u])
+            else:
+                wrow = wts[moved]
+                for slot, u in enumerate(row):
+                    if locked[u]:
+                        continue
+                    w2 = 2 * wrow[slot]
+                    g = gains[u] + (w2 if sides[u] == side_moved else -w2)
+                    gains[u] = g
+                    push(heap1 if sides[u] else heap0, (B - g) * n + rank[u])
+
+    return sequence
+
+
+class _CSRSelectState:
+    __slots__ = ("heaps", "pending")
+
+    def __init__(self) -> None:
+        self.heaps: tuple[list[int], list[int]] = ([], [])
+        self.pending: tuple[deque, deque] = (deque(), deque())
+
+
+def _kl_sequence_csr_multi(csr: CSRGraph, sides: list[int], gains: list[int]):
+    """Pair sequence with per-vertex-weight classes (contracted graphs)."""
+    n = csr.num_vertices
+    rank = csr.rank
+    by_rank = csr.by_rank
+    nbrs = csr.neighbor_lists()
+    unit = csr.unit_edge_weights
+    wts = None if unit else csr.weight_lists()
+    adj_maps = csr.adjacency_maps()
+    vweights = csr.vertex_weight_list()
+    B = csr.max_weighted_degree
+
+    states: dict[int, _CSRSelectState] = {}
+    for i in range(n):
+        state = states.setdefault(vweights[i], _CSRSelectState())
+        state.heaps[sides[i]].append((B - gains[i]) * n + rank[i])
+    for state in states.values():
+        state.heaps[0].sort()
+        state.heaps[1].sort()
+
+    locked = bytearray(n)
+    sequence: list[tuple[int, int, int]] = []
+
+    def next_key(state: _CSRSelectState, side: int) -> int:
+        """Next unlocked, non-stale packed key on ``side``, or -1."""
+        heap = state.heaps[side]
+        pend = state.pending[side]
+        while True:
+            if pend:
+                key = heappop(heap) if heap and heap[0] < pend[0] else pend.popleft()
+            elif heap:
+                key = heappop(heap)
+            else:
+                return -1
+            v = by_rank[key % n]
+            if not locked[v] and gains[v] == B - key // n:
+                return key
+
+    def select_pair(state: _CSRSelectState):
+        ak = next_key(state, 0)
+        if ak < 0:
+            return None
+        bk = next_key(state, 1)
+        if bk < 0:
+            state.pending[0].appendleft(ak)
+            return None
+
+        gain_a = B - ak // n
+        top_b_gain = B - bk // n
+        best_gain = gain_a + top_b_gain - 2 * adj_maps[by_rank[ak % n]].get(
+            by_rank[bk % n], 0
+        )
+        best_ak, best_bk = ak, bk
+        a_keys = [ak]
+        b_keys = [bk]
+
+        if best_gain < gain_a + top_b_gain:
+            i = 0
+            while True:
+                if i == len(a_keys):
+                    if B - a_keys[-1] // n + top_b_gain <= best_gain:
+                        break
+                    ak = next_key(state, 0)
+                    if ak < 0:
+                        break
+                    a_keys.append(ak)
+                ak = a_keys[i]
+                gain_a = B - ak // n
+                if gain_a + top_b_gain <= best_gain:
+                    break
+                adj_a = adj_maps[by_rank[ak % n]]
+                j = 0
+                while True:
+                    if j == len(b_keys):
+                        if gain_a + (B - b_keys[-1] // n) <= best_gain:
+                            break
+                        bk = next_key(state, 1)
+                        if bk < 0:
+                            break
+                        b_keys.append(bk)
+                    bk = b_keys[j]
+                    upper = gain_a + B - bk // n
+                    if upper <= best_gain:
+                        break
+                    pair_gain = upper - 2 * adj_a.get(by_rank[bk % n], 0)
+                    if pair_gain > best_gain:
+                        best_gain, best_ak, best_bk = pair_gain, ak, bk
+                    j += 1
+                i += 1
+
+        state.pending[0].extendleft(k for k in reversed(a_keys) if k != best_ak)
+        state.pending[1].extendleft(k for k in reversed(b_keys) if k != best_bk)
+        return best_gain, best_ak, best_bk
+
+    while True:
+        best = None  # (gain, a_key, b_key, state)
+        for state in states.values():
+            selected = select_pair(state)
+            if selected is None:
+                continue
+            gain, ak, bk = selected
+            if best is None or gain > best[0]:
+                if best is not None:
+                    # Un-choose the previous class's pair: push its pair back.
+                    _, pak, pbk, pstate = best
+                    heappush(pstate.heaps[0], pak)
+                    heappush(pstate.heaps[1], pbk)
+                best = (gain, ak, bk, state)
+            else:
+                heappush(state.heaps[0], ak)
+                heappush(state.heaps[1], bk)
+        if best is None:
+            break
+
+        gain, ak, bk, _state = best
+        a = by_rank[ak % n]
+        b = by_rank[bk % n]
+        locked[a] = locked[b] = 1
+        sequence.append((a, b, gain))
+
+        for moved in (a, b):
+            side_moved = sides[moved]
+            row = nbrs[moved]
+            if unit:
+                for u in row:
+                    if locked[u]:
+                        continue
+                    g = gains[u] + (2 if sides[u] == side_moved else -2)
+                    gains[u] = g
+                    heappush(
+                        states[vweights[u]].heaps[sides[u]], (B - g) * n + rank[u]
+                    )
+            else:
+                wrow = wts[moved]
+                for slot, u in enumerate(row):
+                    if locked[u]:
+                        continue
+                    w2 = 2 * wrow[slot]
+                    g = gains[u] + (w2 if sides[u] == side_moved else -w2)
+                    gains[u] = g
+                    heappush(
+                        states[vweights[u]].heaps[sides[u]], (B - g) * n + rank[u]
+                    )
+
+    return sequence
+
+
+def _kl_pass_csr(csr: CSRGraph, assignment: dict) -> tuple[int, int]:
+    """One KL pass over the CSR arrays; decision-identical to ``_kl_pass_dict``."""
+    sides = csr.sides_list(assignment)
+    gains = csr_move_gains(csr, sides)
+    if csr.unit_vertex_weights or len(set(csr.vertex_weight_list())) == 1:
+        sequence = _kl_sequence_csr_single(csr, sides, gains)
+    else:
+        sequence = _kl_sequence_csr_multi(csr, sides, gains)
+
+    best_total = 0
+    best_k = 0
+    running = 0
+    for k, (_, _, gain) in enumerate(sequence, start=1):
+        running += gain
+        if running > best_total:
+            best_total = running
+            best_k = k
+    labels = csr.labels
+    for a, b, _ in sequence[:best_k]:
+        la, lb = labels[a], labels[b]
+        assignment[la], assignment[lb] = assignment[lb], assignment[la]
+    return best_total, best_k
+
+
+def kl_pass(graph: Graph, assignment: dict) -> tuple[int, int]:
+    """Run one Kernighan-Lin pass, mutating ``assignment``.
+
+    Returns ``(applied_gain, swaps_applied)``: the cut reduction achieved
+    by exchanging the best prefix of the pair sequence, and the number of
+    pairs exchanged (0 when the pass found no improvement).
+
+    Dispatches to the CSR kernel when enabled (see module docstring);
+    both kernels make identical decisions, so the choice never changes
+    the result.
+    """
+    if csr_enabled():
+        csr = csr_view(graph)
+        if csr.rank is not None:
+            return _kl_pass_csr(csr, assignment)
+    return _kl_pass_dict(graph, assignment)
+
+
 def kernighan_lin(
     graph: Graph,
     init: Bisection | None = None,
@@ -243,6 +652,9 @@ def kernighan_lin(
         assignment = init.assignment()
     else:
         assignment = random_assignment(graph, resolve_rng(rng))
+
+    if csr_enabled():
+        csr_view(graph)  # compile once up front; cut_weight reuses it
 
     initial_cut = cut_weight(graph, assignment)
     cut = initial_cut

@@ -218,7 +218,9 @@ def check_sa_bookkeeping(result: Any) -> list[Violation]:
         ))
     trace = getattr(result, "temperature_trace", None)
     temperatures = getattr(result, "temperatures", None)
-    if trace is not None and temperatures is not None and len(trace) != temperatures:
+    # An empty trace means the run opted out of recording (record_trace=False),
+    # not that bookkeeping drifted — only check a trace that was kept.
+    if trace and temperatures is not None and len(trace) != temperatures:
         violations.append(Violation(
             "sa-bookkeeping",
             f"trace has {len(trace)} entries but {temperatures} temperatures "

@@ -1,0 +1,207 @@
+"""Tests for the CSR-vs-dict perf harness and the ``perf`` CLI command."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.perf import (
+    PERF_ALGORITHMS,
+    SNAPSHOT_SCHEMA,
+    diff_snapshots,
+    load_snapshot,
+    measure_size,
+    perf_cases,
+    render_diff,
+    render_snapshot,
+    snapshot_path,
+    write_snapshot,
+)
+from repro.cli import main
+
+
+def _tiny_snapshot(size=64, **kwargs):
+    kwargs.setdefault("sa_size_factor", 2)
+    return measure_size(size, **kwargs)
+
+
+class TestCases:
+    def test_two_families_per_size(self):
+        cases = perf_cases(2000)
+        assert [c.label for c in cases] == ["Gbreg(2000,16,3)", "Gnp(2000,deg2.5)"]
+
+    def test_gbreg_width_parity_fixed(self):
+        # 2n = 1000: n*d - 16 = 1484 is even, so b stays 16; at 2n = 90,
+        # n*d - 16 = 119 is odd and the width bumps to 17.
+        assert perf_cases(1000)[0].label == "Gbreg(1000,16,3)"
+        assert perf_cases(90)[0].label == "Gbreg(90,17,3)"
+
+    def test_builders_are_seed_deterministic(self):
+        from repro.graphs.graph import graph_fingerprint
+        from repro.rng import LaggedFibonacciRandom
+
+        case = perf_cases(64)[0]
+        a = case.build(LaggedFibonacciRandom(3))
+        b = case.build(LaggedFibonacciRandom(3))
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+
+class TestMeasure:
+    def test_snapshot_shape_and_agreement(self):
+        snapshot = _tiny_snapshot(repeats=2)
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA
+        assert snapshot["size"] == 64
+        assert snapshot["ok"] is True
+        assert len(snapshot["cases"]) == 2
+        for case in snapshot["cases"]:
+            assert set(case["algorithms"]) == set(PERF_ALGORITHMS)
+            for cell in case["algorithms"].values():
+                assert cell["cuts_match"] is True
+                assert cell["csr_seconds"] > 0
+                assert cell["dict_seconds"] > 0
+                assert cell["speedup"] == pytest.approx(
+                    cell["dict_seconds"] / cell["csr_seconds"]
+                )
+                assert cell["moves"] >= 0
+
+    def test_algorithm_subset(self):
+        snapshot = _tiny_snapshot(algorithms=("kl",))
+        for case in snapshot["cases"]:
+            assert list(case["algorithms"]) == ["kl"]
+
+    def test_render_snapshot_mentions_cells(self):
+        snapshot = _tiny_snapshot(algorithms=("kl", "fm"))
+        text = render_snapshot(snapshot)
+        assert "Gbreg(64," in text
+        assert " kl " in text and " fm " in text
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="unknown perf algorithm"):
+            _tiny_snapshot(algorithms=("nope",))
+
+
+class TestSnapshotIO:
+    def test_write_load_round_trip(self, tmp_path):
+        snapshot = _tiny_snapshot(algorithms=("kl",))
+        path = write_snapshot(snapshot, str(tmp_path))
+        assert path == snapshot_path(str(tmp_path), 64)
+        assert load_snapshot(path) == snapshot
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "BENCH_10.json"
+        path.write_text(json.dumps({"schema": 999, "size": 10, "cases": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_snapshot(str(path))
+
+
+def _synthetic(speedups):
+    """A snapshot with one case and the given {algo: speedup} cells."""
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "size": 500,
+        "seed": 0,
+        "sa_size_factor": 4,
+        "repeats": 1,
+        "ok": True,
+        "cases": [
+            {
+                "label": "Gbreg(500,16,3)",
+                "vertices": 500,
+                "edges": 750,
+                "csr_compile_seconds": 0.001,
+                "algorithms": {
+                    name: {
+                        "csr_seconds": 1.0 / s,
+                        "dict_seconds": 1.0,
+                        "speedup": s,
+                        "cut": 16,
+                        "moves": 100,
+                        "csr_moves_per_sec": 100 * s,
+                        "dict_moves_per_sec": 100.0,
+                        "cuts_match": True,
+                    }
+                    for name, s in speedups.items()
+                },
+            }
+        ],
+    }
+
+
+class TestDiff:
+    def test_identical_snapshots_pass(self):
+        snap = _synthetic({"kl": 2.0, "sa": 2.2})
+        report = diff_snapshots(snap, snap)
+        assert report["ok"]
+        assert report["regressions"] == []
+        assert len(report["compared"]) == 2
+
+    def test_regression_beyond_threshold_flagged(self):
+        old = _synthetic({"kl": 2.0, "sa": 2.0})
+        new = _synthetic({"kl": 1.4, "sa": 1.9})  # kl fell 30%, sa 5%
+        report = diff_snapshots(old, new, threshold=0.25)
+        assert not report["ok"]
+        assert [r["algorithm"] for r in report["regressions"]] == ["kl"]
+        assert "REGRESSED" in render_diff(report)
+
+    def test_threshold_is_relative_to_old_speedup(self):
+        old = _synthetic({"kl": 4.0})
+        exactly_at = _synthetic({"kl": 3.0})  # 4.0 * (1 - 0.25): not below
+        assert diff_snapshots(old, exactly_at, threshold=0.25)["ok"]
+        below = _synthetic({"kl": 2.99})
+        assert not diff_snapshots(old, below, threshold=0.25)["ok"]
+
+    def test_machine_speed_cancels_out(self):
+        # A uniformly 3x slower machine leaves every ratio unchanged.
+        old = _synthetic({"kl": 2.0})
+        slow = copy.deepcopy(old)
+        cell = slow["cases"][0]["algorithms"]["kl"]
+        cell["csr_seconds"] *= 3.0
+        cell["dict_seconds"] *= 3.0
+        assert diff_snapshots(old, slow)["ok"]
+
+    def test_missing_cells_reported_not_failed(self):
+        old = _synthetic({"kl": 2.0, "sa": 2.0})
+        new = _synthetic({"kl": 2.0})
+        report = diff_snapshots(old, new)
+        assert report["ok"]
+        assert report["missing"] == [
+            {"label": "Gbreg(500,16,3)", "algorithm": "sa"}
+        ]
+        assert "missing" in render_diff(report)
+
+
+class TestCli:
+    def test_perf_measure_and_self_check(self, tmp_path, capsys):
+        out = tmp_path / "snapshots"
+        code = main(
+            ["perf", "--size", "64", "--sa-size-factor", "1",
+             "--out-dir", str(out)]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "speedup" in stdout
+        assert (out / "BENCH_64.json").exists()
+        # Re-checking against the snapshot we just wrote must pass; tiny
+        # graphs time noisily, so only gross regressions would fail here.
+        code = main(
+            ["perf", "--size", "64", "--sa-size-factor", "1", "--threshold",
+             "0.95", "--out-dir", str(tmp_path / "second"), "--check", str(out)]
+        )
+        assert code == 0
+
+    def test_perf_diff_detects_regression(self, tmp_path, capsys):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        write_snapshot(_synthetic({"kl": 3.0}), str(old_dir))
+        write_snapshot(_synthetic({"kl": 1.0}), str(new_dir))
+        old_path = snapshot_path(str(old_dir), 500)
+        new_path = snapshot_path(str(new_dir), 500)
+        assert main(["perf", "--diff", old_path, new_path]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+        assert main(["perf", "--diff", old_path, old_path]) == 0
+
+    def test_perf_diff_bad_file(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["perf", "--diff", missing, missing]) == 2
+        assert "cannot diff" in capsys.readouterr().err
