@@ -35,6 +35,7 @@ from ..core.pipeline import CompactedResult, ckl, csa
 from ..graphs.csr import csr_view
 from ..graphs.generators import gbreg, gnp_with_degree
 from ..graphs.graph import Graph
+from ..obs import obs_enabled
 from ..partition.annealing import AnnealingSchedule, simulated_annealing
 from ..partition.fm import fiduccia_mattheyses
 from ..partition.kl import kernighan_lin
@@ -218,6 +219,10 @@ def measure_size(
         "seed": seed,
         "sa_size_factor": sa_size_factor,
         "repeats": repeats,
+        # Whether REPRO_OBS instrumentation was live during the measurement.
+        # Instrumented and uninstrumented timings are not commensurable, so
+        # diff_snapshots refuses to mix them.
+        "obs": obs_enabled(),
         "ok": ok,
         "cases": cases,
     }
@@ -257,7 +262,19 @@ def diff_snapshots(old: dict, new: dict, threshold: float = 0.25) -> dict:
     out and an old snapshot from CI remains a valid baseline for a rerun
     on different hardware.  Cells present in only one snapshot are listed
     under ``missing`` and do not fail the diff (workloads evolve).
+
+    Raises ``ValueError`` when one snapshot was measured with ``REPRO_OBS``
+    instrumentation on and the other with it off — their timings answer
+    different questions.  Snapshots predating the ``obs`` key (legacy
+    baselines) compare against anything.
     """
+    old_obs = old.get("obs")
+    new_obs = new.get("obs")
+    if old_obs is not None and new_obs is not None and old_obs != new_obs:
+        raise ValueError(
+            "refusing to diff perf snapshots: one was measured with REPRO_OBS "
+            "instrumentation enabled and the other with it disabled"
+        )
     old_cells = {
         (case["label"], name): cell
         for case in old["cases"]

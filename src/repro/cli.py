@@ -22,6 +22,10 @@ Examples::
     # Canonical fingerprint + stats of a saved graph
     repro-bisect info graph.edges
 
+    # Record a run ledger, then explain a perf delta counter by counter
+    repro-bisect table gbreg-d3 --ledger auto
+    repro-bisect stats --diff <old.json> <new.json>
+
     # Verify every registered algorithm against the invariant, exact,
     # and metamorphic oracles (exits non-zero on any violation)
     repro-bisect check --json report.json
@@ -94,14 +98,24 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ledger", metavar="PATH",
+        help="write a run ledger (counters, spans, env) after the command; "
+        "'auto' content-addresses it next to the result cache",
+    )
+
+
 def _add_engine_options(parser: argparse.ArgumentParser, cache: bool = True) -> None:
     parser.add_argument(
         "--jobs", type=_positive_int, default=1,
         help="worker processes for the execution engine (1 = serial)",
     )
     parser.add_argument(
-        "--telemetry", help="append engine telemetry events to this JSONL file"
+        "--telemetry",
+        help="append engine telemetry events (and trace spans) to this JSONL file",
     )
+    _add_obs_options(parser)
     if cache:
         parser.add_argument(
             "--no-cache", action="store_true", help="disable the result cache"
@@ -430,10 +444,91 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 print(f"bad baseline: {exc}", file=sys.stderr)
                 exit_code = 1
                 continue
-            report = diff_snapshots(baseline, snapshot, args.threshold)
+            try:
+                report = diff_snapshots(baseline, snapshot, args.threshold)
+            except ValueError as exc:
+                print(f"cannot diff against baseline: {exc}", file=sys.stderr)
+                exit_code = 1
+                continue
             print(render_diff(report))
             if not report["ok"]:
                 exit_code = 1
+    return exit_code
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import (
+        diff_ledgers,
+        ledger_dir,
+        load_ledger,
+        render_ledger,
+        render_ledger_diff,
+        render_ledger_prometheus,
+        validate_ledger,
+    )
+
+    if args.diff:
+        old_path, new_path = args.diff
+        try:
+            report = diff_ledgers(load_ledger(old_path), load_ledger(new_path))
+        except (OSError, ValueError) as exc:
+            print(f"cannot diff ledgers: {exc}", file=sys.stderr)
+            return 2
+        print(render_ledger_diff(report))
+        return 0
+
+    if not args.ledgers:
+        # No arguments: list what the ledger directory holds.
+        directory = ledger_dir()
+        rows = []
+        for path in sorted(directory.glob("*.json")) if directory.is_dir() else []:
+            try:
+                ledger = load_ledger(path)
+            except (OSError, ValueError):
+                continue
+            rows.append(
+                [
+                    path.name,
+                    ledger.get("run_id", "?"),
+                    " ".join(ledger.get("argv", []))[:48] or "-",
+                    f"{ledger.get('wall_seconds', 0.0):.2f}",
+                ]
+            )
+        if not rows:
+            print(f"no ledgers under {directory} (record one with --ledger auto)")
+            return 0
+        print(
+            render_generic_table(
+                ["file", "run id", "argv", "wall(s)"],
+                rows,
+                title=f"ledgers in {directory}",
+            )
+        )
+        return 0
+
+    exit_code = 0
+    for index, path in enumerate(args.ledgers):
+        try:
+            ledger = load_ledger(path)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read ledger {path}: {exc}", file=sys.stderr)
+            exit_code = 2
+            continue
+        if args.validate:
+            violations = validate_ledger(ledger)
+            if violations:
+                for violation in violations:
+                    print(f"{path}: {violation}", file=sys.stderr)
+                exit_code = exit_code or 1
+            else:
+                print(f"{path}: valid")
+            continue
+        if index:
+            print()
+        if args.prometheus:
+            print(render_ledger_prometheus(ledger), end="")
+        else:
+            print(render_ledger(ledger))
     return exit_code
 
 
@@ -623,7 +718,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=0.25,
         help="speedup-ratio regression threshold for diffs (default: 0.25)",
     )
+    _add_obs_options(perf)
     perf.set_defaults(func=_cmd_perf)
+
+    stats = sub.add_parser(
+        "stats",
+        help="render run ledgers as an ASCII dashboard, or diff two of them",
+    )
+    stats.add_argument(
+        "ledgers", nargs="*",
+        help="ledger JSON path(s) to render (none: list the ledger directory)",
+    )
+    stats.add_argument(
+        "--diff", nargs=2, metavar=("OLD", "NEW"),
+        help="counter-level explanation of what changed between two runs",
+    )
+    stats.add_argument(
+        "--validate", action="store_true",
+        help="check each ledger against the schema; exit non-zero on violations",
+    )
+    stats.add_argument(
+        "--prometheus", action="store_true",
+        help="dump metrics in Prometheus text format instead of the dashboard",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     check = sub.add_parser(
         "check",
@@ -668,7 +786,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    ledger_target = getattr(args, "ledger", None)
+    if ledger_target is None:
+        return args.func(args)
+
+    from .obs import build_ledger, run_context, write_ledger
+
+    # The trace JSONL shares the engine telemetry file, so one tail shows
+    # both streams correlated by run_id.
+    with run_context(
+        jsonl_path=getattr(args, "telemetry", None),
+        workload={"command": args.command},
+    ) as run:
+        exit_code = args.func(args)
+    ledger = build_ledger(run, argv=list(argv) if argv is not None else sys.argv[1:])
+    path = write_ledger(ledger, None if ledger_target == "auto" else ledger_target)
+    print(f"wrote ledger {path}")
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from collections.abc import Hashable
 from dataclasses import dataclass
 
 from ..graphs.graph import Graph
+from ..obs import counter, gauge, span
 from ..partition.bisection import Bisection
 from .matching import Matching, is_matching
 
@@ -136,6 +137,15 @@ def compact(graph: Graph, matching: Matching) -> Compaction:
     if not is_matching(graph, matching):
         raise ValueError("not a valid matching of this graph")
 
+    with span("compaction.compact", vertices=graph.num_vertices):
+        compaction = _compact(graph, matching)
+    counter("compaction_contractions_total").inc()
+    counter("compaction_matched_pairs_total").inc(len(matching))
+    gauge("compaction_ratio").set(compaction.compaction_ratio)
+    return compaction
+
+
+def _compact(graph: Graph, matching: Matching) -> Compaction:
     parent: dict[Vertex, Vertex] = {}
     members: dict[Vertex, tuple[Vertex, ...]] = {}
     next_label = 0

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..graphs.graph import Graph
+from ..obs import span
 from ..partition.annealing import AnnealingSchedule, BalanceCost, simulated_annealing
 from ..partition.bisection import Bisection, default_tolerance, rebalance
 from ..partition.kl import kernighan_lin
@@ -81,19 +82,23 @@ def compacted_bisection(
     (e.g. an odd number of weight-2 supervertices).
     """
     rng = resolve_rng(rng)
-    matching = matching_policy(graph, rng)
+    with span("pipeline.match"):
+        matching = matching_policy(graph, rng)
     compaction = compact(graph, matching)
 
-    coarse_result = bisector(compaction.coarse, rng=rng, **bisector_kwargs)
-    projected = compaction.project(coarse_result.bisection)
-    projected_cut = projected.cut
+    with span("pipeline.coarse", vertices=compaction.coarse.num_vertices):
+        coarse_result = bisector(compaction.coarse, rng=rng, **bisector_kwargs)
+    with span("pipeline.project"):
+        projected = compaction.project(coarse_result.bisection)
+        projected_cut = projected.cut
 
-    tolerance = default_tolerance(graph)
-    if projected.imbalance > tolerance:
-        assignment = rebalance(graph, projected.assignment(), tolerance, rng)
-        projected = Bisection(graph, assignment)
+        tolerance = default_tolerance(graph)
+        if projected.imbalance > tolerance:
+            assignment = rebalance(graph, projected.assignment(), tolerance, rng)
+            projected = Bisection(graph, assignment)
 
-    final_result = bisector(graph, init=projected, rng=rng, **bisector_kwargs)
+    with span("pipeline.final", vertices=graph.num_vertices):
+        final_result = bisector(graph, init=projected, rng=rng, **bisector_kwargs)
     return CompactedResult(
         bisection=final_result.bisection,
         compaction=compaction,
@@ -134,16 +139,19 @@ def coarse_only_bisection(
     refinement), which ``bench_ablation_refinement`` measures.
     """
     rng = resolve_rng(rng)
-    matching = matching_policy(graph, rng)
+    with span("pipeline.match"):
+        matching = matching_policy(graph, rng)
     compaction = compact(graph, matching)
-    coarse_result = bisector(compaction.coarse, rng=rng, **bisector_kwargs)
-    projected = compaction.project(coarse_result.bisection)
-    projected_cut = projected.cut
+    with span("pipeline.coarse", vertices=compaction.coarse.num_vertices):
+        coarse_result = bisector(compaction.coarse, rng=rng, **bisector_kwargs)
+    with span("pipeline.project"):
+        projected = compaction.project(coarse_result.bisection)
+        projected_cut = projected.cut
 
-    tolerance = default_tolerance(graph)
-    if projected.imbalance > tolerance:
-        assignment = rebalance(graph, projected.assignment(), tolerance, rng)
-        projected = Bisection(graph, assignment)
+        tolerance = default_tolerance(graph)
+        if projected.imbalance > tolerance:
+            assignment = rebalance(graph, projected.assignment(), tolerance, rng)
+            projected = Bisection(graph, assignment)
     return CoarseOnlyResult(
         bisection=projected,
         compaction=compaction,

@@ -34,6 +34,7 @@ from dataclasses import replace
 from typing import Any
 
 from ..graphs.graph import graph_fingerprint, vertex_token
+from ..obs import counter, gauge, histogram, obs_enabled, span
 from ..rng import LaggedFibonacciRandom
 from .cache import ResultCache, cache_key
 from .job import Job, JobResult
@@ -275,21 +276,25 @@ class Engine:
         began = time.perf_counter()
 
         results: list[JobResult | None] = [None] * len(jobs)
-        pending: list[tuple[int, Job, str | None]] = []
-        fingerprints: dict[str, str | None] = {}
-        for index, job in enumerate(jobs):
-            key = self._cache_key(job, graphs, fingerprints)
-            if key is not None:
-                payload = self.cache.get(key)
-                if payload is not None:
-                    results[index] = self._from_payload(job, payload)
-                    self.telemetry.emit("cache_hit", job.job_id, key=key)
-                    continue
-            pending.append((index, job, key))
+        with span("engine.batch", jobs=len(jobs), workers=self.jobs):
+            pending: list[tuple[int, Job, str | None]] = []
+            fingerprints: dict[str, str | None] = {}
+            for index, job in enumerate(jobs):
+                key = self._cache_key(job, graphs, fingerprints)
+                if key is not None:
+                    payload = self.cache.get(key)
+                    if payload is not None:
+                        results[index] = self._from_payload(job, payload)
+                        self.telemetry.emit("cache_hit", job.job_id, key=key)
+                        counter("engine_cache_hits_total").inc()
+                        continue
+                    counter("engine_cache_misses_total").inc()
+                pending.append((index, job, key))
 
-        if pending:
-            self._run_pending(pending, jobs, graphs, results)
+            if pending:
+                self._run_pending(pending, jobs, graphs, results)
 
+        wall = time.perf_counter() - began
         for index, job in enumerate(jobs):
             result = results[index]
             self.telemetry.emit(
@@ -306,8 +311,22 @@ class Engine:
         self.telemetry.emit(
             "batch_finish",
             jobs=len(jobs),
-            wall_seconds=round(time.perf_counter() - began, 6),
+            wall_seconds=round(wall, 6),
         )
+        if obs_enabled():
+            counter("engine_jobs_total").inc(len(jobs))
+            fresh = [r for r in results if r is not None and not r.from_cache]
+            counter("engine_jobs_failed_total").inc(
+                sum(1 for r in fresh if not r.ok)
+            )
+            counter("engine_job_retries_total").inc(
+                sum(max(0, r.attempts - 1) for r in fresh)
+            )
+            if fresh and wall > 0:
+                busy = sum(r.seconds for r in fresh)
+                gauge("engine_pool_utilization").set(
+                    min(1.0, busy / (wall * self.jobs))
+                )
         return results  # type: ignore[return-value]
 
     # -- internals ----------------------------------------------------------------
@@ -376,6 +395,7 @@ class Engine:
         if key is not None and result.ok:
             self.cache.put(key, self._to_payload(result))
             self.telemetry.emit("cache_store", result.job_id, key=key)
+            counter("engine_cache_stores_total").inc()
 
     def _run_pending(
         self,
@@ -389,6 +409,7 @@ class Engine:
             self.telemetry.emit(
                 "serial_fallback", reason="in-process callable algorithm"
             )
+            counter("engine_serial_fallbacks_total").inc()
             parallel = False
         if parallel:
             needed = {job.graph_key for _, job, _ in pending}
@@ -401,6 +422,7 @@ class Engine:
                 self.telemetry.emit(
                     "pool_unavailable", error=f"{type(exc).__name__}: {exc}"
                 )
+                counter("engine_serial_fallbacks_total").inc()
                 parallel = False
         if parallel:
             pending = self._run_parallel(pool, pending, results)
@@ -421,21 +443,31 @@ class Engine:
         from concurrent.futures import BrokenExecutor, as_completed
 
         leftover: list[tuple[int, Job, str | None]] = []
+        queue_wait = histogram("engine_queue_wait_seconds") if obs_enabled() else None
         try:
             with pool:
                 futures = {}
+                submitted = {}
                 for index, job, key in pending:
                     self.telemetry.emit("job_queued", job.job_id, mode="parallel")
-                    futures[pool.submit(_worker_run, job)] = (index, job, key)
+                    future = pool.submit(_worker_run, job)
+                    futures[future] = (index, job, key)
+                    submitted[future] = time.perf_counter()
                 for future in as_completed(futures):
                     index, job, key = futures[future]
                     result = future.result()
+                    if queue_wait is not None:
+                        # Turnaround minus compute approximates time spent
+                        # waiting for a worker slot.
+                        wait = time.perf_counter() - submitted[future] - result.seconds
+                        queue_wait.observe(max(0.0, wait))
                     results[index] = result
                     self._store(key, result)
         except (BrokenExecutor, OSError) as exc:
             # A worker died (or the pool broke mid-flight): finish the
             # unfinished jobs serially rather than failing the batch.
             self.telemetry.emit("pool_broken", error=f"{type(exc).__name__}: {exc}")
+            counter("engine_pool_broken_total").inc()
             leftover = [
                 (index, job, key)
                 for index, job, key in pending

@@ -6,10 +6,14 @@ Every engine action emits a :class:`TelemetryEvent` — batch lifecycle
 ``cache_store``), and degradations (``pool_unavailable``,
 ``serial_fallback``, ``pool_broken``).  Events accumulate in memory for
 programmatic summaries and, when a ``jsonl_path`` is given, are appended
-to disk one JSON object per line:
+to disk one JSON object per line using the shared observability envelope
+(``ts`` / ``run_id`` / ``kind`` first — see
+:func:`repro.obs.trace.envelope`), so engine events and trace spans can
+share one file and be correlated by ``run_id``.  The legacy ``t`` key is
+kept for older tail scripts:
 
-    {"kind": "job_finish", "job_id": "case0:kl:0", "t": 1723.4,
-     "status": "ok", "cut": 14, "seconds": 0.21, "attempts": 1, ...}
+    {"ts": 1723.4, "run_id": "…", "kind": "job_finish",
+     "job_id": "case0:kl:0", "t": 1723.4, "status": "ok", "cut": 14, ...}
 
 :class:`Timer` is the one-liner wall-clock context manager the CLI uses
 in place of hand-rolled ``time.perf_counter()`` pairs.
@@ -22,6 +26,8 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
+
+from ..obs.trace import envelope
 
 __all__ = ["TelemetryEvent", "Telemetry", "Timer"]
 
@@ -63,7 +69,8 @@ class TelemetryEvent:
     payload: dict[str, Any] = field(default_factory=dict)
 
     def to_json(self) -> str:
-        record = {"kind": self.kind, "job_id": self.job_id, "t": round(self.t, 6)}
+        record = envelope(self.kind, job_id=self.job_id, t=round(self.t, 6))
+        record["ts"] = round(self.t, 6)  # the event's own clock, not serialization time
         record.update(self.payload)
         return json.dumps(record, sort_keys=True, default=str)
 

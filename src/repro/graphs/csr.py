@@ -33,6 +33,7 @@ from array import array
 from collections.abc import Mapping
 from itertools import compress
 from operator import mul, ne
+from time import perf_counter
 
 from .graph import Graph, Vertex
 
@@ -228,7 +229,15 @@ def csr_view(graph: Graph) -> CSRGraph:
     derived = graph._derived
     csr = derived.get("csr")
     if csr is None:
-        csr = CSRGraph(graph)
+        from ..obs import counter, histogram, obs_enabled  # cycle-safe, cheap
+
+        if obs_enabled():
+            began = perf_counter()
+            csr = CSRGraph(graph)
+            histogram("csr_compile_seconds").observe(perf_counter() - began)
+            counter("csr_compiles_total").inc()
+        else:
+            csr = CSRGraph(graph)
         derived["csr"] = csr
     return csr
 

@@ -1,0 +1,109 @@
+"""Unified tracing & metrics: spans, algorithm counters, run ledgers.
+
+A zero-dependency instrumentation subsystem, on by default and disabled
+entirely with ``REPRO_OBS=0``:
+
+* :mod:`repro.obs.metrics` — process-wide counter/gauge/histogram
+  registry cheap enough to leave on in hot loops (kernels accumulate
+  local ints and flush once per pass/temperature);
+* :mod:`repro.obs.trace` — nested wall-time spans
+  (``with span("kl.pass"): ...``) plus the per-run context that scopes a
+  ``run_id`` and an optional JSONL sink sharing the engine telemetry
+  envelope;
+* :mod:`repro.obs.ledger` — one summary JSON per run, content-addressed
+  next to the result cache, schema-validated, and diffable;
+* :mod:`repro.obs.dashboard` — ASCII rendering for the
+  ``repro-bisect stats`` command.
+
+The cardinal rule, enforced by the equivalence test matrix: *observing a
+run never changes it.*  Instrumentation reads algorithm state; it never
+draws from the RNG, never reorders iteration, never rounds a decision.
+"""
+
+from .ledger import (
+    LEDGER_SCHEMA,
+    build_ledger,
+    diff_ledgers,
+    ledger_dir,
+    load_ledger,
+    load_schema,
+    validate_ledger,
+    write_ledger,
+)
+from .metrics import (
+    NOOP,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    obs_enabled,
+)
+from .trace import (
+    RunContext,
+    Span,
+    current_run,
+    current_run_id,
+    envelope,
+    new_run_id,
+    reset_span_totals,
+    run_context,
+    span,
+    span_totals,
+)
+
+# The dashboard renders with repro.bench helpers, and repro.bench imports
+# the (instrumented) algorithm modules, which import this package — so the
+# dashboard is loaded lazily (PEP 562) to keep `import repro.obs` safe from
+# anywhere in the stack.
+_DASHBOARD_EXPORTS = (
+    "render_ledger",
+    "render_ledger_diff",
+    "render_ledger_prometheus",
+)
+
+
+def __getattr__(name: str):
+    if name in _DASHBOARD_EXPORTS:
+        from . import dashboard
+
+        return getattr(dashboard, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LEDGER_SCHEMA",
+    "MetricsRegistry",
+    "NOOP",
+    "REGISTRY",
+    "RunContext",
+    "Span",
+    "build_ledger",
+    "counter",
+    "current_run",
+    "current_run_id",
+    "diff_ledgers",
+    "envelope",
+    "gauge",
+    "histogram",
+    "ledger_dir",
+    "load_ledger",
+    "load_schema",
+    "new_run_id",
+    "obs_enabled",
+    "render_ledger",
+    "render_ledger_diff",
+    "render_ledger_prometheus",
+    "reset_span_totals",
+    "run_context",
+    "span",
+    "span_totals",
+    "validate_ledger",
+    "write_ledger",
+]

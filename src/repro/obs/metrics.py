@@ -1,0 +1,288 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The instrumentation layer the hot kernels talk to.  Design constraints,
+in order:
+
+1. **Cheap when on.**  Metrics are acquired once per algorithm run (a
+   dict lookup), never per move; kernels accumulate plain local ints and
+   flush them with one :meth:`Counter.inc` per pass/temperature.  A
+   metric operation is one attribute add — no locks, no string
+   formatting, no time syscalls.
+2. **Free when off.**  ``REPRO_OBS=0`` makes the module-level factories
+   (:func:`counter`, :func:`gauge`, :func:`histogram`) return a shared
+   no-op object whose methods do nothing, so instrumented code needs no
+   ``if`` guards of its own.
+3. **Zero dependencies.**  Snapshots are plain dicts;
+   :meth:`MetricsRegistry.render_prometheus` emits the Prometheus text
+   exposition format with nothing but string joins.
+
+Metric identity is ``name`` plus an optional frozen label set; the same
+identity always returns the same object, and re-registering a name as a
+different metric type raises.  Names follow the Prometheus convention:
+``snake_case``, counters suffixed ``_total``, timings suffixed
+``_seconds``.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "obs_enabled",
+]
+
+# Default histogram buckets: wall-time seconds spanning sub-millisecond
+# kernels to multi-minute anneals.
+DEFAULT_SECONDS_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+# Ratio buckets for anything in [0, 1] (acceptance ratios, utilization).
+RATIO_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def obs_enabled() -> bool:
+    """True unless ``REPRO_OBS=0`` (instrumentation is on by default).
+
+    Checked when a metric is *acquired* (once per algorithm run), not at
+    import time, so tests can flip the variable per call.
+    """
+    return os.environ.get("REPRO_OBS", "1") != "0"
+
+
+class _Noop:
+    """Shared do-nothing stand-in for every metric type when obs is off."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def dec(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NOOP"
+
+
+NOOP = _Noop()
+
+
+class Counter:
+    """Monotonically increasing count (``inc`` only)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def snapshot(self) -> int | float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (``set``/``inc``/``dec``)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: int | float = 1) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative counts, Prometheus-style).
+
+    ``buckets`` are ascending upper bounds; every observation also lands
+    in the implicit ``+Inf`` bucket, so ``counts`` has
+    ``len(buckets) + 1`` entries and ``counts[-1] == count``.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "total", "count")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+        labels: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name} buckets must be ascending, got {buckets}")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _series_name(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Name -> metric table with get-or-create factories and exporters."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Any] = {}
+
+    def _get(self, cls, name: str, labels: dict[str, Any], **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        if buckets is None:
+            key = (name, _label_key(labels))
+            existing = self._metrics.get(key)
+            if isinstance(existing, Histogram):
+                return existing
+            buckets = DEFAULT_SECONDS_BUCKETS
+        return self._get(Histogram, name, labels, buckets=tuple(buckets))
+
+    def reset(self) -> None:
+        """Drop every registered metric (test isolation)."""
+        self._metrics.clear()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict export: ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``.
+
+        Keys are Prometheus-style series names (labels rendered inline),
+        which keeps the ledger JSON flat and diffable.
+        """
+        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            out[metric.kind + "s"][_series_name(name, labels)] = metric.snapshot()
+        return out
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format for everything registered."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for (name, labels), metric in sorted(self._metrics.items()):
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} {metric.kind}")
+                seen_types.add(name)
+            series = _series_name(name, labels)
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, bucket_count in zip(
+                    list(metric.buckets) + ["+Inf"], metric.counts
+                ):
+                    cumulative += bucket_count
+                    label_str = f'le="{bound}"'
+                    if labels:
+                        label_str = (
+                            ",".join(f'{k}="{v}"' for k, v in labels) + "," + label_str
+                        )
+                    lines.append(f"{name}_bucket{{{label_str}}} {cumulative}")
+                lines.append(f"{series.replace(name, name + '_sum', 1)} {metric.total:g}")
+                lines.append(f"{series.replace(name, name + '_count', 1)} {metric.count}")
+            else:
+                lines.append(f"{series} {metric.snapshot():g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-wide default registry every instrumented module uses.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, **labels: Any) -> Counter | _Noop:
+    """Get-or-create a counter on the default registry (no-op when off)."""
+    if not obs_enabled():
+        return NOOP
+    return REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge | _Noop:
+    """Get-or-create a gauge on the default registry (no-op when off)."""
+    if not obs_enabled():
+        return NOOP
+    return REGISTRY.gauge(name, **labels)
+
+
+def histogram(
+    name: str, buckets: tuple[float, ...] | None = None, **labels: Any
+) -> Histogram | _Noop:
+    """Get-or-create a histogram on the default registry (no-op when off)."""
+    if not obs_enabled():
+        return NOOP
+    return REGISTRY.histogram(name, buckets=buckets, **labels)

@@ -1,0 +1,264 @@
+"""Nested wall-time spans and the per-run trace context.
+
+A *span* is one timed region with a name, attributes, and a position in
+the nesting tree::
+
+    with span("kl.run", n=graph.num_vertices):
+        with span("kl.pass"):
+            ...
+
+Spans cost two ``perf_counter`` calls plus a list append — cheap enough
+for per-pass / per-temperature granularity (never per-move).  When obs is
+disabled (``REPRO_OBS=0``) :func:`span` yields a shared inert object and
+records nothing.
+
+A :class:`RunContext` (entered via :func:`run_context`) scopes a *run*:
+it owns the ``run_id``, collects finished spans, aggregates per-name
+totals for the ledger, and optionally appends each finished span to a
+JSONL sink using the shared event envelope (``ts`` / ``run_id`` /
+``kind``) that :mod:`repro.engine.telemetry` also emits — so one file can
+be tailed for engine events and spans alike.  Without an active run
+context, spans still measure and aggregate into a process-wide collector
+so library users get span totals in ledgers built ad hoc.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+from .metrics import REGISTRY, MetricsRegistry, obs_enabled
+
+__all__ = [
+    "RunContext",
+    "Span",
+    "current_run",
+    "current_run_id",
+    "envelope",
+    "new_run_id",
+    "reset_span_totals",
+    "run_context",
+    "span",
+    "span_totals",
+]
+
+_run_counter = itertools.count()
+
+
+def new_run_id() -> str:
+    """A fresh, human-sortable run id: epoch millis, pid, and a counter."""
+    return f"{int(time.time() * 1000):013d}-{os.getpid():05d}-{next(_run_counter)}"
+
+
+def envelope(kind: str, run_id: str | None = None, **fields: Any) -> dict[str, Any]:
+    """The shared JSONL event envelope: ``ts`` + ``run_id`` + ``kind`` first.
+
+    Engine telemetry and span records both go through this, which is what
+    lets one file carry every event stream.
+    """
+    record: dict[str, Any] = {
+        "ts": round(time.time(), 6),
+        "run_id": run_id if run_id is not None else current_run_id(),
+        "kind": kind,
+    }
+    record.update(fields)
+    return record
+
+
+class Span:
+    """One finished (or in-flight) timed region."""
+
+    __slots__ = ("name", "attrs", "began", "seconds", "depth", "error")
+
+    def __init__(self, name: str, attrs: dict[str, Any], depth: int) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.depth = depth
+        self.began = time.perf_counter()
+        self.seconds = 0.0
+        self.error: str | None = None
+
+    def to_record(self, run_id: str | None) -> dict[str, Any]:
+        record = envelope(
+            "span",
+            run_id=run_id,
+            name=self.name,
+            seconds=round(self.seconds, 6),
+            depth=self.depth,
+        )
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+class _Inert:
+    """Stand-in yielded by :func:`span` when obs is disabled."""
+
+    __slots__ = ()
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("inert span is read-only")
+
+
+_INERT = _Inert.__new__(_Inert)
+
+
+class _SpanCollector:
+    """Per-name aggregation of finished spans: count / total / max seconds."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, dict[str, float]] = {}
+
+    def add(self, finished: Span) -> None:
+        entry = self.totals.get(finished.name)
+        if entry is None:
+            entry = {"count": 0, "seconds": 0.0, "max_seconds": 0.0, "errors": 0}
+            self.totals[finished.name] = entry
+        entry["count"] += 1
+        entry["seconds"] += finished.seconds
+        if finished.seconds > entry["max_seconds"]:
+            entry["max_seconds"] = finished.seconds
+        if finished.error is not None:
+            entry["errors"] += 1
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {
+                "count": entry["count"],
+                "seconds": round(entry["seconds"], 6),
+                "max_seconds": round(entry["max_seconds"], 6),
+                "errors": entry["errors"],
+            }
+            for name, entry in sorted(self.totals.items())
+        }
+
+    def reset(self) -> None:
+        self.totals.clear()
+
+
+class RunContext:
+    """Scopes one run: run id, span collection, optional JSONL sink."""
+
+    def __init__(
+        self,
+        run_id: str | None = None,
+        jsonl_path: str | Path | None = None,
+        workload: dict[str, Any] | None = None,
+    ) -> None:
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.jsonl_path = Path(jsonl_path) if jsonl_path else None
+        self.workload = dict(workload) if workload else {}
+        self.collector = _SpanCollector()
+        self.started_at = time.time()
+        self.finished_at: float | None = None
+        self._began = time.perf_counter()
+        self.wall_seconds = 0.0
+        self.spans: list[dict[str, Any]] = []
+        self.metrics_before: dict[str, Any] = {}
+
+    def finish(self) -> None:
+        self.finished_at = time.time()
+        self.wall_seconds = time.perf_counter() - self._began
+
+    def record(self, finished: Span) -> None:
+        self.collector.add(finished)
+        record = finished.to_record(self.run_id)
+        self.spans.append(record)
+        if self.jsonl_path is not None:
+            with open(self.jsonl_path, "a", encoding="utf-8") as stream:
+                stream.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+
+
+class _State(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[Span] = []
+        self.run: RunContext | None = None
+
+
+_STATE = _State()
+
+#: Fallback collector for spans finished outside any run context.
+_GLOBAL_COLLECTOR = _SpanCollector()
+
+
+def current_run() -> RunContext | None:
+    """The active :class:`RunContext`, or ``None``."""
+    return _STATE.run
+
+
+def current_run_id() -> str | None:
+    run = _STATE.run
+    return run.run_id if run is not None else None
+
+
+def span_totals() -> dict[str, dict[str, float]]:
+    """Aggregated span totals: the active run's if any, else process-wide."""
+    run = _STATE.run
+    collector = run.collector if run is not None else _GLOBAL_COLLECTOR
+    return collector.snapshot()
+
+
+def reset_span_totals() -> None:
+    """Clear the process-wide span aggregation (test isolation)."""
+    _GLOBAL_COLLECTOR.reset()
+
+
+@contextmanager
+def span(name: str, **attrs: Any):
+    """Time a nested region.  Exception-safe: the span is closed (and its
+    ``error`` recorded as the exception type name) even when the body
+    raises, and the exception propagates untouched.
+    """
+    if not obs_enabled():
+        yield _INERT
+        return
+    stack = _STATE.stack
+    active = Span(name, attrs, depth=len(stack))
+    stack.append(active)
+    try:
+        yield active
+    except BaseException as exc:
+        active.error = type(exc).__name__
+        raise
+    finally:
+        active.seconds = time.perf_counter() - active.began
+        stack.pop()
+        run = _STATE.run
+        if run is not None:
+            run.record(active)
+        else:
+            _GLOBAL_COLLECTOR.add(active)
+
+
+@contextmanager
+def run_context(
+    run_id: str | None = None,
+    jsonl_path: str | Path | None = None,
+    workload: dict[str, Any] | None = None,
+    registry: MetricsRegistry | None = None,
+):
+    """Scope a run: set the run id, collect spans, snapshot metrics deltas.
+
+    The metrics registry is snapshotted on entry so the ledger built from
+    this context (see :func:`repro.obs.ledger.build_ledger`) reports the
+    counters *of this run*, not of the whole process lifetime.  Nesting is
+    not supported — the innermost context wins and a warning-free restore
+    happens on exit.
+    """
+    run = RunContext(run_id=run_id, jsonl_path=jsonl_path, workload=workload)
+    run.metrics_before = (registry or REGISTRY).snapshot()
+    previous = _STATE.run
+    _STATE.run = run
+    try:
+        yield run
+    finally:
+        run.finish()
+        _STATE.run = previous

@@ -34,6 +34,8 @@ from ...graphs.csr import (
     csr_view,
 )
 from ...graphs.graph import Graph
+from ...obs import counter, gauge, histogram, obs_enabled, span
+from ...obs.metrics import RATIO_BUCKETS
 from ...rng import LaggedFibonacciRandom, resolve_rng
 from ..bisection import Bisection, cut_weight, default_tolerance, rebalance, side_weights
 from ..random_init import random_assignment
@@ -351,6 +353,47 @@ def simulated_annealing(
     arithmetic-driven over the same insertion-order vertex indexing, so
     the walk is bit-identical to the dict path's.
     """
+    with span("sa.run", vertices=graph.num_vertices, neighborhood=neighborhood):
+        result = _simulated_annealing_impl(
+            graph,
+            init,
+            rng,
+            schedule,
+            cost,
+            balance_tolerance,
+            neighborhood,
+            record_trace,
+        )
+    _record_sa_obs(result)
+    return result
+
+
+def _record_sa_obs(result: SAResult) -> None:
+    """Flush SA counters from a finished result — never touches the walk."""
+    if not obs_enabled():
+        return
+    counter("sa_runs_total").inc()
+    counter("sa_temperatures_total").inc(result.temperatures)
+    counter("sa_moves_attempted_total").inc(result.moves_attempted)
+    counter("sa_moves_accepted_total").inc(result.moves_accepted)
+    gauge("sa_final_temperature").set(result.final_temperature)
+    gauge("sa_acceptance_ratio").set(result.acceptance_ratio)
+    if result.temperature_trace:
+        hist = histogram("sa_temperature_acceptance_ratio", buckets=RATIO_BUCKETS)
+        for _temperature, ratio, _cut in result.temperature_trace:
+            hist.observe(ratio)
+
+
+def _simulated_annealing_impl(
+    graph: Graph,
+    init: Bisection | None,
+    rng: random.Random | int | None,
+    schedule: AnnealingSchedule | None,
+    cost: BalanceCost | None,
+    balance_tolerance: int | None,
+    neighborhood: str,
+    record_trace: bool,
+) -> SAResult:
     if neighborhood not in ("flip", "swap"):
         raise ValueError(f"neighborhood must be 'flip' or 'swap', got {neighborhood!r}")
     if graph.num_vertices == 0:

@@ -38,6 +38,7 @@ from ..graphs.csr import (
     csr_view,
 )
 from ..graphs.graph import Graph
+from ..obs import counter, span
 from ..rng import resolve_rng
 from .bisection import (
     Bisection,
@@ -84,6 +85,7 @@ def _fm_pass_dict(
     strict_tol: int,
     loose_tol: int,
     target_diff: int = 0,
+    stats: dict | None = None,
 ) -> tuple[int, int]:
     """One FM pass over the dict adjacency (reference kernel)."""
     gains: dict = {}
@@ -112,6 +114,8 @@ def _fm_pass_dict(
     best_deviation = deviation(diff)
     best_deviation_k = 0
     best_deviation_gain = 0
+    stale = 0  # obs only: superseded/locked entries discarded
+    stashed = 0  # obs only: balance-illegal entries stashed and restored
 
     def next_allowed(side: int):
         """Pop the best unlocked, fresh, balance-legal vertex on ``side``.
@@ -121,12 +125,14 @@ def _fm_pass_dict(
         never become illegal-forever while unlocked, because the loose
         window always admits moves off the heavier side.
         """
+        nonlocal stale, stashed
         heap = heaps[side]
         stash = []
         found = None
         while heap:
             neg_gain, v = heappop(heap)
             if v in locked or assignment[v] != side or gains[v] != -neg_gain:
+                stale += 1
                 continue
             wv = graph.vertex_weight(v)
             new_diff = diff - 2 * wv if side == 0 else diff + 2 * wv
@@ -134,6 +140,7 @@ def _fm_pass_dict(
                 found = (neg_gain, v)
                 break
             stash.append((neg_gain, v))
+        stashed += len(stash)
         for item in stash:
             heappush(heap, item)
         return found
@@ -187,7 +194,19 @@ def _fm_pass_dict(
         keep, applied = best_deviation_k, best_deviation_gain
     for v in reversed(sequence[keep:]):
         assignment[v] = 1 - assignment[v]
+    if stats is not None:
+        _accumulate_pass_stats(
+            stats, considered=len(sequence), stale=stale, stashed=stashed
+        )
     return applied, keep
+
+
+def _accumulate_pass_stats(
+    stats: dict, *, considered: int, stale: int, stashed: int
+) -> None:
+    stats["moves_considered"] = stats.get("moves_considered", 0) + considered
+    stats["stale_pops"] = stats.get("stale_pops", 0) + stale
+    stats["stash_restores"] = stats.get("stash_restores", 0) + stashed
 
 
 def _fm_pass_csr(
@@ -196,6 +215,7 @@ def _fm_pass_csr(
     strict_tol: int,
     loose_tol: int,
     target_diff: int = 0,
+    stats: dict | None = None,
 ) -> tuple[int, int]:
     """One FM pass over the CSR arrays; decision-identical to the dict kernel.
 
@@ -251,6 +271,8 @@ def _fm_pass_csr(
     best_deviation = start_dev
     best_deviation_k = 0
     best_deviation_gain = 0
+    stale = 0  # obs only, as in the dict kernel
+    stashed = 0
 
     def next_allowed(side: int):
         """Best unlocked, fresh, balance-legal ``(off, rank, id)`` on ``side``.
@@ -259,6 +281,7 @@ def _fm_pass_csr(
         (il)legal, so legality is one check per call; otherwise illegal
         entries are stashed and restored, as in the dict kernel.
         """
+        nonlocal stale, stashed
         bks = buckets[side]
         off = maxoff[side]
         dev_cur = abs(diff - target_diff)
@@ -275,6 +298,7 @@ def _fm_pass_csr(
                     if not locked[v] and sides[v] == side and gains[v] == off - B:
                         maxoff[side] = off
                         return off, r, v
+                    stale += 1
                 off -= 1
             maxoff[side] = -1
             return None
@@ -286,6 +310,7 @@ def _fm_pass_csr(
                 r = heappop(bucket)
                 v = by_rank[r]
                 if locked[v] or sides[v] != side or gains[v] != off - B:
+                    stale += 1
                     continue
                 wv = vweights[v]
                 new_diff = diff - 2 * wv if side == 0 else diff + 2 * wv
@@ -298,6 +323,7 @@ def _fm_pass_csr(
                 break
             off -= 1
         top = off if found is not None else -1
+        stashed += len(stash)
         for soff, sr in stash:
             heappush(bks[soff], sr)
             if soff > top:
@@ -376,6 +402,10 @@ def _fm_pass_csr(
     for v in sequence[:keep]:
         lv = labels[v]
         assignment[lv] = 1 - assignment[lv]
+    if stats is not None:
+        _accumulate_pass_stats(
+            stats, considered=len(sequence), stale=stale, stashed=stashed
+        )
     return applied, keep
 
 
@@ -385,6 +415,7 @@ def _fm_pass(
     strict_tol: int,
     loose_tol: int,
     target_diff: int = 0,
+    stats: dict | None = None,
 ) -> tuple[int, int]:
     """One FM pass; mutates ``assignment``.  Returns ``(applied_gain, moves_kept)``.
 
@@ -397,8 +428,10 @@ def _fm_pass(
     if csr_enabled():
         csr = csr_view(graph)
         if csr.rank is not None:
-            return _fm_pass_csr(csr, assignment, strict_tol, loose_tol, target_diff)
-    return _fm_pass_dict(graph, assignment, strict_tol, loose_tol, target_diff)
+            return _fm_pass_csr(
+                csr, assignment, strict_tol, loose_tol, target_diff, stats
+            )
+    return _fm_pass_dict(graph, assignment, strict_tol, loose_tol, target_diff, stats)
 
 
 def fiduccia_mattheyses(
@@ -459,19 +492,31 @@ def fiduccia_mattheyses(
     passes = 0
     total_moves = 0
     pass_gains: list[int] = []
-    while max_passes is None or passes < max_passes:
-        w0, w1 = side_weights(graph, assignment)
-        was_balanced = abs(w0 - w1 - target_diff) <= strict_tol
-        gain, kept = _fm_pass(graph, assignment, strict_tol, loose_tol, target_diff)
-        passes += 1
-        cut -= gain
-        total_moves += kept
-        if kept:
-            pass_gains.append(gain)
-        if gain <= 0 and was_balanced:
-            break
-        if kept == 0:
-            break
+    stats: dict[str, int] = {}
+    with span("fm.run", vertices=graph.num_vertices):
+        while max_passes is None or passes < max_passes:
+            w0, w1 = side_weights(graph, assignment)
+            was_balanced = abs(w0 - w1 - target_diff) <= strict_tol
+            with span("fm.pass"):
+                gain, kept = _fm_pass(
+                    graph, assignment, strict_tol, loose_tol, target_diff, stats
+                )
+            passes += 1
+            cut -= gain
+            total_moves += kept
+            if kept:
+                pass_gains.append(gain)
+            if gain <= 0 and was_balanced:
+                break
+            if kept == 0:
+                break
+
+    counter("fm_runs_total").inc()
+    counter("fm_passes_total").inc(passes)
+    counter("fm_moves_considered_total").inc(stats.get("moves_considered", 0))
+    counter("fm_moves_committed_total").inc(total_moves)
+    counter("fm_stale_pops_total").inc(stats.get("stale_pops", 0))
+    counter("fm_stash_restores_total").inc(stats.get("stash_restores", 0))
 
     result = Bisection(graph, assignment)
     assert result.cut == cut, "incremental cut diverged from recomputation"

@@ -45,6 +45,7 @@ from operator import mul
 
 from ..graphs.csr import CSRGraph, csr_enabled, csr_move_gains, csr_view
 from ..graphs.graph import Graph
+from ..obs import counter, span
 from ..rng import resolve_rng
 from .bisection import Bisection, cut_weight
 from .random_init import random_assignment
@@ -97,11 +98,14 @@ class _SelectState:
     instead of a ``heappush``/``heappop`` round trip per selection round.
     """
 
-    __slots__ = ("heaps", "pending")
+    __slots__ = ("heaps", "pending", "stale", "candidates", "prune_hits")
 
     def __init__(self) -> None:
         self.heaps: tuple[list, list] = ([], [])
         self.pending: tuple[deque, deque] = (deque(), deque())
+        self.stale = 0  # superseded heap entries discarded (obs only)
+        self.candidates = 0  # entries examined across selections (obs only)
+        self.prune_hits = 0  # selections settled by the two top pops (obs only)
 
     def push(self, side: int, gain: int, v) -> None:
         heappush(self.heaps[side], (-gain, v))
@@ -120,6 +124,7 @@ class _SelectState:
             neg_gain, v = entry
             if v not in locked and gains[v] == -neg_gain:
                 return entry
+            self.stale += 1
 
     def park(self, side: int, entries: list, chosen) -> None:
         """Return unchosen popped entries (ascending order) to the pending front."""
@@ -147,6 +152,7 @@ def _select_pair(state: _SelectState, gains: dict, locked: set, graph: Graph):
         return True
 
     if not extend(0, a_cands) or not extend(1, b_cands):
+        state.candidates += len(a_cands) + len(b_cands)
         state.park(0, a_cands, None)
         state.park(1, b_cands, None)
         return None
@@ -182,6 +188,9 @@ def _select_pair(state: _SelectState, gains: dict, locked: set, graph: Graph):
             if -a_cands[-1][0] + top_b_gain <= best_gain:
                 break
 
+    state.candidates += len(a_cands) + len(b_cands)
+    if len(a_cands) + len(b_cands) == 2:
+        state.prune_hits += 1
     state.park(0, a_cands, best_a)
     state.park(1, b_cands, best_b)
     if best_a is None:
@@ -189,7 +198,9 @@ def _select_pair(state: _SelectState, gains: dict, locked: set, graph: Graph):
     return best_gain, best_a, best_b
 
 
-def _kl_pass_dict(graph: Graph, assignment: dict) -> tuple[int, int]:
+def _kl_pass_dict(
+    graph: Graph, assignment: dict, stats: dict | None = None
+) -> tuple[int, int]:
     """One KL pass over the dict-of-dicts adjacency (reference kernel)."""
     gains: dict = {}
     for v in graph.vertices():
@@ -254,7 +265,24 @@ def _kl_pass_dict(graph: Graph, assignment: dict) -> tuple[int, int]:
             best_k = k
     for a, b, _ in sequence[:best_k]:
         assignment[a], assignment[b] = assignment[b], assignment[a]
+    if stats is not None:
+        _accumulate_pass_stats(
+            stats,
+            selections=len(sequence),
+            stale=sum(s.stale for s in states.values()),
+            candidates=sum(s.candidates for s in states.values()),
+            prune_hits=sum(s.prune_hits for s in states.values()),
+        )
     return best_total, best_k
+
+
+def _accumulate_pass_stats(
+    stats: dict, *, selections: int, stale: int, candidates: int, prune_hits: int
+) -> None:
+    stats["selections"] = stats.get("selections", 0) + selections
+    stats["stale_pops"] = stats.get("stale_pops", 0) + stale
+    stats["candidates"] = stats.get("candidates", 0) + candidates
+    stats["prune_hits"] = stats.get("prune_hits", 0) + prune_hits
 
 
 # -- CSR kernel --------------------------------------------------------------------
@@ -275,7 +303,9 @@ def _kl_pass_dict(graph: Graph, assignment: dict) -> tuple[int, int]:
 # selection costs exactly two pops and one adjacency probe.
 
 
-def _kl_sequence_csr_single(csr: CSRGraph, sides: list[int], gains: list[int]):
+def _kl_sequence_csr_single(
+    csr: CSRGraph, sides: list[int], gains: list[int], stats: dict | None = None
+):
     """Pair sequence for the single-weight-class case, fully inlined."""
     n = csr.num_vertices
     rank = csr.rank
@@ -299,6 +329,9 @@ def _kl_sequence_csr_single(csr: CSRGraph, sides: list[int], gains: list[int]):
     sequence: list[tuple[int, int, int]] = []  # (a, b, pair_gain)
     push = heappush
     pop = heappop
+    stale = 0  # obs only: superseded entries discarded on the slow path
+    candidates = 0
+    prune_hits = 0
 
     while True:
         # Top unlocked, non-stale candidate on each side (heap/pending merge).
@@ -313,6 +346,7 @@ def _kl_sequence_csr_single(csr: CSRGraph, sides: list[int], gains: list[int]):
             va = by_rank[ak % n]
             if not locked[va] and gains[va] == B - ak // n:
                 break
+            stale += 1
         if ak < 0:
             break
         while True:
@@ -326,6 +360,7 @@ def _kl_sequence_csr_single(csr: CSRGraph, sides: list[int], gains: list[int]):
             vb = by_rank[bk % n]
             if not locked[vb] and gains[vb] == B - bk // n:
                 break
+            stale += 1
         if bk < 0:
             pend0.appendleft(ak)
             break
@@ -360,6 +395,7 @@ def _kl_sequence_csr_single(csr: CSRGraph, sides: list[int], gains: list[int]):
                         v = by_rank[ak % n]
                         if not locked[v] and gains[v] == B - ak // n:
                             break
+                        stale += 1
                     if ak < 0:
                         break
                     a_keys.append(ak)
@@ -388,6 +424,7 @@ def _kl_sequence_csr_single(csr: CSRGraph, sides: list[int], gains: list[int]):
                             v = by_rank[bk % n]
                             if not locked[v] and gains[v] == B - bk // n:
                                 break
+                            stale += 1
                         if bk < 0:
                             break
                         b_keys.append(bk)
@@ -401,6 +438,9 @@ def _kl_sequence_csr_single(csr: CSRGraph, sides: list[int], gains: list[int]):
                     j += 1
                 i += 1
 
+        candidates += len(a_keys) + len(b_keys)
+        if len(a_keys) + len(b_keys) == 2:
+            prune_hits += 1
         if len(a_keys) > 1 or a_keys[0] != best_ak:
             pend0.extendleft(k for k in reversed(a_keys) if k != best_ak)
         if len(b_keys) > 1 or b_keys[0] != best_bk:
@@ -431,6 +471,14 @@ def _kl_sequence_csr_single(csr: CSRGraph, sides: list[int], gains: list[int]):
                     gains[u] = g
                     push(heap1 if sides[u] else heap0, (B - g) * n + rank[u])
 
+    if stats is not None:
+        _accumulate_pass_stats(
+            stats,
+            selections=len(sequence),
+            stale=stale,
+            candidates=candidates,
+            prune_hits=prune_hits,
+        )
     return sequence
 
 
@@ -442,7 +490,9 @@ class _CSRSelectState:
         self.pending: tuple[deque, deque] = (deque(), deque())
 
 
-def _kl_sequence_csr_multi(csr: CSRGraph, sides: list[int], gains: list[int]):
+def _kl_sequence_csr_multi(
+    csr: CSRGraph, sides: list[int], gains: list[int], stats: dict | None = None
+):
     """Pair sequence with per-vertex-weight classes (contracted graphs)."""
     n = csr.num_vertices
     rank = csr.rank
@@ -464,9 +514,13 @@ def _kl_sequence_csr_multi(csr: CSRGraph, sides: list[int], gains: list[int]):
 
     locked = bytearray(n)
     sequence: list[tuple[int, int, int]] = []
+    stale = 0  # obs only, as in the single-class kernel
+    candidates = 0
+    prune_hits = 0
 
     def next_key(state: _CSRSelectState, side: int) -> int:
         """Next unlocked, non-stale packed key on ``side``, or -1."""
+        nonlocal stale
         heap = state.heaps[side]
         pend = state.pending[side]
         while True:
@@ -479,14 +533,17 @@ def _kl_sequence_csr_multi(csr: CSRGraph, sides: list[int], gains: list[int]):
             v = by_rank[key % n]
             if not locked[v] and gains[v] == B - key // n:
                 return key
+            stale += 1
 
     def select_pair(state: _CSRSelectState):
+        nonlocal candidates, prune_hits
         ak = next_key(state, 0)
         if ak < 0:
             return None
         bk = next_key(state, 1)
         if bk < 0:
             state.pending[0].appendleft(ak)
+            candidates += 1
             return None
 
         gain_a = B - ak // n
@@ -532,6 +589,9 @@ def _kl_sequence_csr_multi(csr: CSRGraph, sides: list[int], gains: list[int]):
                     j += 1
                 i += 1
 
+        candidates += len(a_keys) + len(b_keys)
+        if len(a_keys) + len(b_keys) == 2:
+            prune_hits += 1
         state.pending[0].extendleft(k for k in reversed(a_keys) if k != best_ak)
         state.pending[1].extendleft(k for k in reversed(b_keys) if k != best_bk)
         return best_gain, best_ak, best_bk
@@ -586,17 +646,27 @@ def _kl_sequence_csr_multi(csr: CSRGraph, sides: list[int], gains: list[int]):
                         states[vweights[u]].heaps[sides[u]], (B - g) * n + rank[u]
                     )
 
+    if stats is not None:
+        _accumulate_pass_stats(
+            stats,
+            selections=len(sequence),
+            stale=stale,
+            candidates=candidates,
+            prune_hits=prune_hits,
+        )
     return sequence
 
 
-def _kl_pass_csr(csr: CSRGraph, assignment: dict) -> tuple[int, int]:
+def _kl_pass_csr(
+    csr: CSRGraph, assignment: dict, stats: dict | None = None
+) -> tuple[int, int]:
     """One KL pass over the CSR arrays; decision-identical to ``_kl_pass_dict``."""
     sides = csr.sides_list(assignment)
     gains = csr_move_gains(csr, sides)
     if csr.unit_vertex_weights or len(set(csr.vertex_weight_list())) == 1:
-        sequence = _kl_sequence_csr_single(csr, sides, gains)
+        sequence = _kl_sequence_csr_single(csr, sides, gains, stats)
     else:
-        sequence = _kl_sequence_csr_multi(csr, sides, gains)
+        sequence = _kl_sequence_csr_multi(csr, sides, gains, stats)
 
     best_total = 0
     best_k = 0
@@ -613,12 +683,18 @@ def _kl_pass_csr(csr: CSRGraph, assignment: dict) -> tuple[int, int]:
     return best_total, best_k
 
 
-def kl_pass(graph: Graph, assignment: dict) -> tuple[int, int]:
+def kl_pass(
+    graph: Graph, assignment: dict, stats: dict | None = None
+) -> tuple[int, int]:
     """Run one Kernighan-Lin pass, mutating ``assignment``.
 
     Returns ``(applied_gain, swaps_applied)``: the cut reduction achieved
     by exchanging the best prefix of the pair sequence, and the number of
     pairs exchanged (0 when the pass found no improvement).
+
+    ``stats``, when given, accumulates selection-machinery counts
+    (``selections`` / ``stale_pops`` / ``candidates`` / ``prune_hits``)
+    for the observability layer; it never influences the pass.
 
     Dispatches to the CSR kernel when enabled (see module docstring);
     both kernels make identical decisions, so the choice never changes
@@ -627,8 +703,8 @@ def kl_pass(graph: Graph, assignment: dict) -> tuple[int, int]:
     if csr_enabled():
         csr = csr_view(graph)
         if csr.rank is not None:
-            return _kl_pass_csr(csr, assignment)
-    return _kl_pass_dict(graph, assignment)
+            return _kl_pass_csr(csr, assignment, stats)
+    return _kl_pass_dict(graph, assignment, stats)
 
 
 def kernighan_lin(
@@ -661,14 +737,25 @@ def kernighan_lin(
     pass_gains: list[int] = []
     swaps = 0
     passes = 0
-    while max_passes is None or passes < max_passes:
-        gain, applied = kl_pass(graph, assignment)
-        passes += 1
-        if applied == 0:
-            break
-        cut -= gain
-        swaps += applied
-        pass_gains.append(gain)
+    stats: dict[str, int] = {}
+    with span("kl.run", vertices=graph.num_vertices):
+        while max_passes is None or passes < max_passes:
+            with span("kl.pass"):
+                gain, applied = kl_pass(graph, assignment, stats)
+            passes += 1
+            if applied == 0:
+                break
+            cut -= gain
+            swaps += applied
+            pass_gains.append(gain)
+
+    counter("kl_runs_total").inc()
+    counter("kl_passes_total").inc(passes)
+    counter("kl_swaps_total").inc(swaps)
+    counter("kl_selections_total").inc(stats.get("selections", 0))
+    counter("kl_stale_pops_total").inc(stats.get("stale_pops", 0))
+    counter("kl_candidates_total").inc(stats.get("candidates", 0))
+    counter("kl_prune_hits_total").inc(stats.get("prune_hits", 0))
 
     result = Bisection(graph, assignment)
     assert result.cut == cut, "incremental cut diverged from recomputation"

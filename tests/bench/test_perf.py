@@ -172,6 +172,37 @@ class TestDiff:
         assert "missing" in render_diff(report)
 
 
+class TestObsFlag:
+    def test_measure_records_obs_state(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        assert _tiny_snapshot(algorithms=("kl",))["obs"] is True
+        monkeypatch.setenv("REPRO_OBS", "0")
+        assert _tiny_snapshot(algorithms=("kl",))["obs"] is False
+
+    def test_diff_refuses_mixed_instrumentation(self):
+        old = _synthetic({"kl": 2.0})
+        new = _synthetic({"kl": 2.0})
+        old["obs"] = True
+        new["obs"] = False
+        with pytest.raises(ValueError, match="refusing to diff perf snapshots"):
+            diff_snapshots(old, new)
+
+    def test_diff_accepts_matching_instrumentation(self):
+        old = _synthetic({"kl": 2.0})
+        new = _synthetic({"kl": 2.0})
+        old["obs"] = new["obs"] = True
+        assert diff_snapshots(old, new)["ok"]
+
+    def test_legacy_snapshots_without_the_key_still_diff(self):
+        # Committed BENCH_<n>.json baselines predate the obs key; a
+        # snapshot that records it must still compare against them.
+        old = _synthetic({"kl": 2.0})  # no "obs" key
+        new = _synthetic({"kl": 2.0})
+        new["obs"] = True
+        assert diff_snapshots(old, new)["ok"]
+        assert diff_snapshots(new, old)["ok"]
+
+
 class TestCli:
     def test_perf_measure_and_self_check(self, tmp_path, capsys):
         out = tmp_path / "snapshots"

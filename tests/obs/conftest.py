@@ -1,0 +1,18 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import REGISTRY, reset_span_totals
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_state(monkeypatch):
+    """Each test starts with obs on (the default) and empty global state."""
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    REGISTRY.reset()
+    reset_span_totals()
+    yield
+    REGISTRY.reset()
+    reset_span_totals()

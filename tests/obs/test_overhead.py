@@ -1,0 +1,40 @@
+"""Instrumentation overhead stays negligible on a small KL workload.
+
+The design target is <=5% overhead with REPRO_OBS=1 (counters are plain
+local ints flushed once per pass; spans are per-pass, never per-move).
+Wall-clock assertions on shared CI boxes are noisy, so this smoke test
+takes the best of several repetitions and asserts a deliberately loose
+bound — it exists to catch accidental per-move instrumentation (which
+shows up as 2-10x, not 1.05x), not to measure the 5% target precisely.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.graphs.generators import gbreg
+from repro.partition.kl import kernighan_lin
+from repro.rng import LaggedFibonacciRandom
+
+REPEATS = 5
+LOOSE_BOUND = 1.25
+
+
+def _best_wall(monkeypatch, obs_value):
+    monkeypatch.setenv("REPRO_OBS", obs_value)
+    best = float("inf")
+    for _ in range(REPEATS):
+        graph = gbreg(120, 6, 3, LaggedFibonacciRandom(0)).graph
+        began = time.perf_counter()
+        kernighan_lin(graph, rng=0)
+        best = min(best, time.perf_counter() - began)
+    return best
+
+
+def test_kl_overhead_stays_small(monkeypatch):
+    off = _best_wall(monkeypatch, "0")
+    on = _best_wall(monkeypatch, "1")
+    assert on <= off * LOOSE_BOUND, (
+        f"instrumented KL run took {on:.4f}s vs {off:.4f}s bare "
+        f"({on / off:.2f}x > {LOOSE_BOUND}x bound)"
+    )

@@ -1,0 +1,144 @@
+"""Span nesting, exception safety, run contexts, and the JSONL envelope."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    current_run,
+    current_run_id,
+    envelope,
+    new_run_id,
+    run_context,
+    span,
+    span_totals,
+)
+from repro.obs.trace import _INERT
+
+
+class TestSpanNesting:
+    def test_depths_follow_the_stack(self):
+        with span("outer") as outer:
+            assert outer.depth == 0
+            with span("inner") as inner:
+                assert inner.depth == 1
+            with span("inner") as again:
+                assert again.depth == 1
+
+    def test_totals_aggregate_per_name(self):
+        with span("work"):
+            pass
+        with span("work"):
+            pass
+        totals = span_totals()
+        assert totals["work"]["count"] == 2
+        assert totals["work"]["seconds"] >= 0.0
+        assert totals["work"]["max_seconds"] <= totals["work"]["seconds"]
+
+    def test_attrs_are_kept(self):
+        with span("sized", vertices=40) as s:
+            assert s.attrs == {"vertices": 40}
+
+
+class TestExceptionSafety:
+    def test_error_type_recorded_and_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        totals = span_totals()
+        assert totals["doomed"]["count"] == 1
+        assert totals["doomed"]["errors"] == 1
+
+    def test_stack_unwinds_after_error(self):
+        with pytest.raises(ValueError):
+            with span("failing"):
+                raise ValueError()
+        with span("after") as s:
+            assert s.depth == 0
+
+
+class TestRunContext:
+    def test_scopes_run_id(self):
+        assert current_run_id() is None
+        with run_context(run_id="r1") as run:
+            assert current_run_id() == "r1"
+            assert current_run() is run
+        assert current_run_id() is None
+
+    def test_spans_land_in_the_active_run(self):
+        with run_context(run_id="r1") as run:
+            with span("inside"):
+                pass
+        assert "inside" in run.collector.snapshot()
+        # The global collector only holds spans finished outside a run.
+        assert "inside" not in span_totals()
+
+    def test_wall_clock_and_workload(self):
+        with run_context(workload={"command": "table"}) as run:
+            pass
+        assert run.wall_seconds >= 0.0
+        assert run.finished_at is not None
+        assert run.workload == {"command": "table"}
+
+    def test_metrics_snapshot_taken_on_entry(self):
+        from repro.obs import counter
+
+        counter("pre_total").inc(5)
+        with run_context() as run:
+            pass
+        assert run.metrics_before["counters"]["pre_total"] == 5
+
+    def test_jsonl_sink_uses_shared_envelope(self, tmp_path):
+        sink = tmp_path / "trace.jsonl"
+        with run_context(run_id="r-sink", jsonl_path=sink):
+            with span("kl.pass", vertices=8):
+                pass
+        lines = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert len(lines) == 1
+        record = lines[0]
+        assert record["kind"] == "span"
+        assert record["run_id"] == "r-sink"
+        assert record["name"] == "kl.pass"
+        assert record["attrs"] == {"vertices": 8}
+        assert record["seconds"] >= 0.0
+        assert record["depth"] == 0
+        assert "ts" in record
+
+    def test_nested_contexts_restore_the_outer_one(self):
+        with run_context(run_id="outer"):
+            with run_context(run_id="inner"):
+                assert current_run_id() == "inner"
+            assert current_run_id() == "outer"
+
+
+class TestEnvelope:
+    def test_leading_keys_in_order(self):
+        record = envelope("job_finish", run_id="r1", job_id="j0")
+        assert list(record)[:3] == ["ts", "run_id", "kind"]
+        assert record["kind"] == "job_finish"
+        assert record["job_id"] == "j0"
+
+    def test_run_id_defaults_to_active_run(self):
+        with run_context(run_id="active"):
+            assert envelope("span")["run_id"] == "active"
+        assert envelope("span")["run_id"] is None
+
+    def test_new_run_ids_are_unique(self):
+        ids = {new_run_id() for _ in range(50)}
+        assert len(ids) == 50
+
+
+class TestDisabled:
+    def test_span_yields_inert_and_records_nothing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        with span("invisible") as s:
+            assert s is _INERT
+        assert span_totals() == {}
+
+    def test_inert_span_is_read_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "0")
+        with span("invisible") as s:
+            with pytest.raises(AttributeError):
+                s.name = "x"

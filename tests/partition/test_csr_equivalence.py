@@ -68,6 +68,15 @@ def _run_both(monkeypatch, build, seed, run):
     return dict_result, csr_result
 
 
+def _run_obs_both(monkeypatch, build, seed, run):
+    """Run ``run(graph, seed)`` instrumented (REPRO_OBS=1), then bare."""
+    monkeypatch.setenv("REPRO_OBS", "1")
+    on_result = run(build(seed), seed)
+    monkeypatch.setenv("REPRO_OBS", "0")
+    off_result = run(build(seed), seed)
+    return on_result, off_result
+
+
 def _assert_bisections_equal(a, b):
     assert a.cut == b.cut
     assert a.assignment() == b.assignment()
@@ -135,6 +144,59 @@ class TestEquivalenceMatrix:
         assert d.projected_cut == c.projected_cut
         _assert_sa_equal(d.coarse_result, c.coarse_result)
         _assert_sa_equal(d.final_result, c.final_result)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("seed", SEEDS)
+class TestObsEquivalenceMatrix:
+    """REPRO_OBS=1 vs REPRO_OBS=0: instrumentation must not perturb results.
+
+    The observability layer (spans, counters, histograms) promises to be
+    decision-free — no RNG draws, no iteration reorder — so every result
+    object must match seed-for-seed with instrumentation on and off.
+    """
+
+    def test_kl(self, monkeypatch, family, seed):
+        on, off = _run_obs_both(
+            monkeypatch, FAMILIES[family], seed,
+            lambda g, s: kernighan_lin(g, rng=s),
+        )
+        _assert_kl_like_equal(on, off)
+        assert on.swaps == off.swaps
+
+    def test_fm(self, monkeypatch, family, seed):
+        on, off = _run_obs_both(
+            monkeypatch, FAMILIES[family], seed,
+            lambda g, s: fiduccia_mattheyses(g, rng=s),
+        )
+        _assert_kl_like_equal(on, off)
+        assert on.moves == off.moves
+
+    def test_sa(self, monkeypatch, family, seed):
+        on, off = _run_obs_both(
+            monkeypatch, FAMILIES[family], seed,
+            lambda g, s: simulated_annealing(g, rng=s, schedule=SCHEDULE),
+        )
+        _assert_sa_equal(on, off)
+
+    def test_ckl(self, monkeypatch, family, seed):
+        on, off = _run_obs_both(
+            monkeypatch, FAMILIES[family], seed, lambda g, s: ckl(g, rng=s)
+        )
+        _assert_bisections_equal(on.bisection, off.bisection)
+        assert on.projected_cut == off.projected_cut
+        _assert_kl_like_equal(on.coarse_result, off.coarse_result)
+        _assert_kl_like_equal(on.final_result, off.final_result)
+
+    def test_csa(self, monkeypatch, family, seed):
+        on, off = _run_obs_both(
+            monkeypatch, FAMILIES[family], seed,
+            lambda g, s: csa(g, rng=s, schedule=SCHEDULE),
+        )
+        _assert_bisections_equal(on.bisection, off.bisection)
+        assert on.projected_cut == off.projected_cut
+        _assert_sa_equal(on.coarse_result, off.coarse_result)
+        _assert_sa_equal(on.final_result, off.final_result)
 
 
 class TestTraceOptOut:
