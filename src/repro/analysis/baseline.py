@@ -1,0 +1,134 @@
+"""Baseline suppression: accepted legacy findings, with justifications.
+
+The baseline file is a checked-in JSON document listing findings the
+project has explicitly accepted.  Entries match findings by
+``(rule, path, context)`` — never by line number, so unrelated edits
+above a finding do not invalidate the baseline — and every entry must
+carry a human-written ``justification``; the ``--check`` gate rejects
+missing or placeholder (``TODO``) justifications as loudly as it rejects
+new findings.
+
+Stale entries (suppressing nothing) also fail ``--check``: a baseline
+that outlives its findings stops meaning anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .rules import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "apply_baseline", "update_baseline"]
+
+_PLACEHOLDER = "TODO"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    context: str
+    justification: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.context)
+
+    def problem(self) -> str | None:
+        """Why this entry is unacceptable, or None."""
+        text = self.justification.strip()
+        if not text:
+            return "missing justification"
+        if text.upper().startswith(_PLACEHOLDER):
+            return "placeholder justification"
+        return None
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if data.get("version") != 1:
+            raise ValueError(f"unsupported baseline version in {path}: {data.get('version')!r}")
+        entries = [
+            BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                context=raw.get("context", ""),
+                justification=raw.get("justification", ""),
+            )
+            for raw in data.get("suppressions", [])
+        ]
+        return cls(entries)
+
+    def save(self, path: Path | str) -> None:
+        payload = {
+            "version": 1,
+            "suppressions": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "context": e.context,
+                    "justification": e.justification,
+                }
+                for e in sorted(self.entries, key=BaselineEntry.key)
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def problems(self) -> list[tuple[BaselineEntry, str]]:
+        out = []
+        for entry in self.entries:
+            problem = entry.problem()
+            if problem:
+                out.append((entry, problem))
+        return out
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Split findings into (unsuppressed, suppressed) and report stale entries."""
+    by_key = {entry.key(): entry for entry in baseline.entries}
+    unsuppressed: list[Finding] = []
+    suppressed: list[Finding] = []
+    matched: set[tuple[str, str, str]] = set()
+    for finding in findings:
+        entry = by_key.get(finding.key())
+        if entry is None:
+            unsuppressed.append(finding)
+        else:
+            suppressed.append(finding)
+            matched.add(entry.key())
+    stale = [entry for entry in baseline.entries if entry.key() not in matched]
+    return unsuppressed, suppressed, stale
+
+
+def update_baseline(
+    findings: list[Finding], baseline: Baseline
+) -> Baseline:
+    """New baseline covering exactly the current findings.
+
+    Existing justifications are preserved; genuinely new findings get a
+    ``TODO`` placeholder that ``--check`` will refuse until a human
+    replaces it — updating the baseline records a debt, it does not pay it.
+    """
+    existing = {entry.key(): entry for entry in baseline.entries}
+    entries: dict[tuple[str, str, str], BaselineEntry] = {}
+    for finding in findings:
+        key = finding.key()
+        kept = existing.get(key)
+        entries[key] = kept if kept is not None else BaselineEntry(
+            rule=finding.rule,
+            path=finding.path,
+            context=finding.context,
+            justification=f"{_PLACEHOLDER}: justify or fix",
+        )
+    return Baseline(sorted(entries.values(), key=BaselineEntry.key))

@@ -1,0 +1,98 @@
+"""Analysis configuration: which files each rule scans or skips.
+
+Every rule sees every module by default.  Two per-rule path maps narrow
+that:
+
+* **scopes** restrict a rule to part of the tree (R006's float-equality
+  check only makes sense in gain arithmetic, so it scans ``partition/``
+  and nothing else);
+* **allow zones** carve sanctioned exceptions out of a rule's scope
+  (R002 bans wall-clock reads everywhere *except* ``obs/`` — the clock
+  choke point — and bench code).
+
+Both maps use paths relative to the scanned package root, ``/``-separated
+on every platform.  An entry ending in ``/`` matches the whole subtree;
+an entry containing a glob character is an :mod:`fnmatch` pattern; any
+other entry matches one file exactly.
+
+Tests point ``root`` at fixture packages and swap in their own maps, so
+rule behavior is exercised without touching the real tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Mapping
+
+__all__ = ["AnalysisConfig", "DEFAULT_ALLOW_ZONES", "DEFAULT_SCOPES", "default_config"]
+
+
+#: Sanctioned exceptions per rule (paths relative to the package root).
+DEFAULT_ALLOW_ZONES: Mapping[str, tuple[str, ...]] = {
+    # All randomness flows through the seeded generator implementations.
+    "R001": ("rng.py",),
+    # The observability layer owns the clock (obs/clock.py is the choke
+    # point); bench code measures wall time by definition.
+    "R002": ("obs/", "bench/"),
+}
+
+#: Rules that only apply to part of the tree (empty/absent = whole tree).
+DEFAULT_SCOPES: Mapping[str, tuple[str, ...]] = {
+    # The "flush local ints once per run" contract guards the hot kernels.
+    "R004": (
+        "partition/kl.py",
+        "partition/fm.py",
+        "partition/annealing/sa.py",
+        "graphs/csr.py",
+    ),
+    # Seeded decision paths: partitioners and graph generators.
+    "R005": ("partition/", "graphs/generators/"),
+    # Gain arithmetic lives in the partitioners.
+    "R006": ("partition/",),
+    # The execution engine is the robustness boundary.
+    "R007": ("engine/",),
+}
+
+
+def _matches(relpath: str, pattern: str) -> bool:
+    if pattern.endswith("/"):
+        return relpath.startswith(pattern)
+    if any(ch in pattern for ch in "*?["):
+        return fnmatch(relpath, pattern)
+    return relpath == pattern
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Where to scan and how rule scopes/allow-zones map onto the tree."""
+
+    #: Directory containing the package to scan (e.g. ``src/repro``).
+    root: Path
+    #: Dotted name of the scanned package (for module names in findings).
+    package: str = "repro"
+    scopes: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_SCOPES)
+    )
+    allow_zones: Mapping[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_ALLOW_ZONES)
+    )
+    #: Restrict the run to these rule ids (``None`` = every registered rule).
+    rules: tuple[str, ...] | None = None
+
+    def in_scope(self, rule_id: str, relpath: str) -> bool:
+        """True when ``relpath`` is inside the rule's scope and no allow-zone."""
+        scope = self.scopes.get(rule_id)
+        if scope and not any(_matches(relpath, p) for p in scope):
+            return False
+        return not any(
+            _matches(relpath, p) for p in self.allow_zones.get(rule_id, ())
+        )
+
+
+def default_config(root: Path | str | None = None) -> AnalysisConfig:
+    """The repo's own configuration, rooted at the installed ``repro`` package."""
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    return AnalysisConfig(root=Path(root))

@@ -1,0 +1,168 @@
+"""Project model: parsed modules, import graph, and a call-graph sketch.
+
+:class:`ProjectModel` walks a package directory once, parses every
+``*.py`` file with :mod:`ast`, and derives the two structures the rules
+share:
+
+* an **import graph** — for each module, the set of *project-internal*
+  modules it imports (relative imports resolved against the package
+  root) plus the set of external top-level modules, so rules can ask
+  "who imports ``random``?" without re-walking ASTs;
+* a **call-graph approximation** — per class, which of its own methods
+  each method calls (``self.f()`` edges only).  This is deliberately
+  lightweight: it answers the one question the invariant rules need
+  ("does this mutator reach an invalidation, possibly indirectly?")
+  without attempting general points-to analysis.
+
+Everything here is pure stdlib and side-effect free; modules are parsed,
+never imported.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["ModuleInfo", "ProjectModel", "qualified_call_name", "self_method_calls"]
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    name: str  # dotted module name, e.g. "repro.partition.kl"
+    path: Path  # absolute path on disk
+    relpath: str  # path relative to the package root, "/"-separated
+    tree: ast.Module
+    #: Local alias -> dotted origin, e.g. {"pc": "time.perf_counter",
+    #: "np": "numpy", "random": "random"}.  Covers both ``import x [as y]``
+    #: and ``from x import y [as z]`` (relative imports resolved).
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: Project-internal modules this module imports (dotted names).
+    internal_imports: set[str] = field(default_factory=set)
+    #: External top-level module names this module imports.
+    external_imports: set[str] = field(default_factory=set)
+
+
+def _resolve_relative(module: str | None, level: int, importer: str) -> str:
+    """Absolute dotted target of ``from <...module> import ...`` in ``importer``."""
+    if level == 0:
+        return module or ""
+    # importer "repro.partition.kl" at level 1 -> base "repro.partition".
+    base_parts = importer.split(".")[:-level]
+    if module:
+        base_parts.append(module)
+    return ".".join(base_parts)
+
+
+def qualified_call_name(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Dotted origin of a call target, resolved through import aliases.
+
+    ``pc()`` with ``from time import perf_counter as pc`` resolves to
+    ``"time.perf_counter"``; ``random.shuffle`` with ``import random`` to
+    ``"random.shuffle"``.  Returns ``None`` for anything that does not
+    bottom out in an imported name (locals, attribute chains on calls).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    origin = aliases.get(node.id)
+    if origin is None:
+        return None
+    parts.append(origin)
+    return ".".join(reversed(parts))
+
+
+def self_method_calls(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names of same-class methods called as ``self.<name>(...)`` in ``func``."""
+    called: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            called.add(node.func.attr)
+    return called
+
+
+class ProjectModel:
+    """All modules of one package, parsed, with the derived graphs."""
+
+    def __init__(self, modules: dict[str, ModuleInfo], package: str) -> None:
+        self.modules = modules
+        self.package = package
+
+    @classmethod
+    def scan(cls, root: Path, package: str = "repro") -> "ProjectModel":
+        """Parse every ``*.py`` under ``root`` (the directory *of* ``package``)."""
+        root = Path(root)
+        modules: dict[str, ModuleInfo] = {}
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            dotted = rel[: -len(".py")].replace("/", ".")
+            if dotted.endswith("__init__"):
+                dotted = dotted[: -len(".__init__")] or ""
+            name = f"{package}.{dotted}" if dotted else package
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            modules[name] = ModuleInfo(name=name, path=path, relpath=rel, tree=tree)
+        model = cls(modules, package)
+        for info in modules.values():
+            model._index_imports(info)
+        return model
+
+    def _index_imports(self, info: ModuleInfo) -> None:
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds `a.b`.
+                    info.aliases[local] = alias.name if alias.asname else alias.name.split(".")[0]
+                    self._record_target(info, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                target = _resolve_relative(node.module, node.level, info.name)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    dotted = f"{target}.{alias.name}" if target else alias.name
+                    info.aliases[local] = dotted
+                    # `from . import c` names the module pkg.sub.c, not an
+                    # attribute of pkg.sub — record the most precise target.
+                    self._record_target(info, dotted if dotted in self.modules else target)
+
+    def _record_target(self, info: ModuleInfo, target: str) -> None:
+        if not target:
+            return
+        if target == self.package or target.startswith(self.package + "."):
+            # `from .x import f` may name either a module or an attribute of
+            # one; record the longest prefix that is a real project module.
+            name = target
+            while name and name not in self.modules:
+                name = name.rpartition(".")[0]
+            info.internal_imports.add(name or target)
+        else:
+            info.external_imports.add(target.split(".")[0])
+
+    # -- queries ------------------------------------------------------------------
+
+    def import_graph(self) -> dict[str, set[str]]:
+        """Module -> set of project-internal modules it imports."""
+        return {name: set(info.internal_imports) for name, info in self.modules.items()}
+
+    def importers_of(self, external: str) -> list[ModuleInfo]:
+        """Modules importing the external top-level module ``external``."""
+        return [
+            info
+            for _, info in sorted(self.modules.items())
+            if external in info.external_imports
+        ]
+
+    def __iter__(self) -> Iterator[ModuleInfo]:
+        return iter(self.modules[name] for name in sorted(self.modules))

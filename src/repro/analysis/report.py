@@ -1,0 +1,70 @@
+"""Text and JSON rendering of analysis results."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .baseline import BaselineEntry
+from .rules import Finding, Severity
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(
+    unsuppressed: list[Finding],
+    suppressed: list[Finding],
+    stale: list[BaselineEntry],
+    baseline_problems: list[tuple[BaselineEntry, str]],
+    modules_scanned: int,
+) -> str:
+    """Compiler-style one-line-per-finding report plus a summary line."""
+    lines: list[str] = []
+    severity_rank = {s: i for i, s in enumerate(Severity.ORDER)}
+    for f in sorted(unsuppressed, key=lambda f: (severity_rank[f.severity], f)):
+        where = f"{f.path}:{f.line}:{f.col + 1}"
+        ctx = f" [{f.context}]" if f.context else ""
+        lines.append(f"{where}: {f.severity} {f.rule} ({f.message}){ctx}")
+    for entry, problem in baseline_problems:
+        lines.append(
+            f"baseline: {problem}: {entry.rule} {entry.path} [{entry.context}]"
+        )
+    for entry in stale:
+        lines.append(
+            f"baseline: stale entry (no matching finding): "
+            f"{entry.rule} {entry.path} [{entry.context}]"
+        )
+    summary = (
+        f"{modules_scanned} modules scanned: "
+        f"{len(unsuppressed)} finding{'s' if len(unsuppressed) != 1 else ''}"
+    )
+    if suppressed:
+        summary += f", {len(suppressed)} baselined"
+    if stale:
+        summary += f", {len(stale)} stale baseline entr{'ies' if len(stale) != 1 else 'y'}"
+    if baseline_problems:
+        summary += f", {len(baseline_problems)} baseline problem{'s' if len(baseline_problems) != 1 else ''}"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    unsuppressed: list[Finding],
+    suppressed: list[Finding],
+    stale: list[BaselineEntry],
+    baseline_problems: list[tuple[BaselineEntry, str]],
+    modules_scanned: int,
+) -> str:
+    payload: dict[str, Any] = {
+        "modules_scanned": modules_scanned,
+        "findings": [f.to_json() for f in sorted(unsuppressed)],
+        "suppressed": [f.to_json() for f in sorted(suppressed)],
+        "stale_baseline": [
+            {"rule": e.rule, "path": e.path, "context": e.context} for e in stale
+        ],
+        "baseline_problems": [
+            {"rule": e.rule, "path": e.path, "context": e.context, "problem": p}
+            for e, p in baseline_problems
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,102 @@
+"""SARIF 2.1.0 emission for analysis findings.
+
+One run, one tool (``repro-analysis``), one result per finding.
+Suppressed (baselined) findings are included with a ``suppressions``
+entry of kind ``external`` carrying the baseline justification, which is
+how SARIF consumers (GitHub code scanning included) expect accepted
+findings to be represented.  Paths are emitted relative to the scanned
+package root under the ``SRCROOT`` uri base.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .rules import Finding, Rule
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _result(
+    finding: Finding,
+    rule_index: dict[str, int],
+    justification: str | None,
+) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "repro/v1": "/".join(finding.key()),
+        },
+    }
+    if justification is not None:
+        result["suppressions"] = [
+            {"kind": "external", "justification": justification}
+        ]
+    return result
+
+
+def to_sarif(
+    unsuppressed: Iterable[Finding],
+    suppressed: Iterable[tuple[Finding, str]] = (),
+    rules: Iterable[Rule] = (),
+    tool_version: str = "1.0.0",
+) -> dict[str, Any]:
+    """The full SARIF 2.1.0 log document as a plain dict."""
+    rule_list = sorted(rules, key=lambda r: r.id)
+    rule_index = {rule.id: i for i, rule in enumerate(rule_list)}
+    results = [_result(f, rule_index, None) for f in unsuppressed]
+    results += [_result(f, rule_index, why) for f, why in suppressed]
+    results.sort(key=lambda r: (r["ruleId"], r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"], r["locations"][0]["physicalLocation"]["region"]["startLine"]))
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri": "https://example.invalid/repro/docs/static-analysis.md",
+                        "version": tool_version,
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.description},
+                                "defaultConfiguration": {
+                                    "level": _LEVELS.get(rule.severity, "warning")
+                                },
+                            }
+                            for rule in rule_list
+                        ],
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }

@@ -36,6 +36,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
+from pathlib import Path
 
 from .bench import (
     current_scale,
@@ -578,6 +580,72 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        AnalysisConfig,
+        default_baseline_path,
+        default_config,
+        render_json,
+        render_text,
+        run_analysis,
+        to_sarif,
+        update_baseline,
+    )
+    from .analysis.runner import analyze
+
+    if args.root:
+        config = AnalysisConfig(root=Path(args.root))
+    else:
+        config = default_config()
+    if args.rule:
+        config = replace(config, rules=tuple(args.rule))
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline_path()
+
+    if args.update_baseline:
+        from .analysis import Baseline
+
+        findings, _, _ = analyze(config)
+        baseline = update_baseline(findings, Baseline.load(baseline_path))
+        baseline.save(baseline_path)
+        todo = sum(1 for e in baseline.entries if e.problem())
+        print(f"wrote {baseline_path} ({len(baseline.entries)} entries, {todo} needing justification)")
+        return 0
+
+    result = run_analysis(config, baseline_path)
+    if args.format == "sarif":
+        sarif = to_sarif(
+            result.findings,
+            result.suppressed_with_justifications(),
+            result.rules,
+        )
+        text = json.dumps(sarif, indent=2)
+    elif args.format == "json":
+        text = render_json(
+            result.findings,
+            result.suppressed,
+            result.stale,
+            result.baseline_problems,
+            result.modules_scanned,
+        )
+    else:
+        text = render_text(
+            result.findings,
+            result.suppressed,
+            result.stale,
+            result.baseline_problems,
+            result.modules_scanned,
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    if args.check and not result.ok:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bisect",
@@ -781,6 +849,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="list every record, not just failures"
     )
     check.set_defaults(func=_cmd_check)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the source tree against the determinism "
+        "and invariant ruleset (R001-R008)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero on unsuppressed findings, stale baseline "
+        "entries, or missing justifications",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to cover current findings (new entries "
+        "get a TODO justification that --check rejects)",
+    )
+    lint.add_argument(
+        "--baseline",
+        help="baseline file (default: the checked-in analysis/baseline.json)",
+    )
+    lint.add_argument(
+        "--root",
+        help="package directory to scan (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--rule", action="append",
+        help="run only this rule id (repeatable; default: all rules)",
+    )
+    lint.add_argument("--out", help="write the report here instead of stdout")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

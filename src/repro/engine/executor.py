@@ -28,13 +28,13 @@ from __future__ import annotations
 import multiprocessing
 import signal
 import threading
-import time
 from collections.abc import Mapping, Sequence
 from dataclasses import replace
 from typing import Any
 
 from ..graphs.graph import graph_fingerprint, vertex_token
 from ..obs import counter, gauge, histogram, obs_enabled, span
+from ..obs.clock import monotonic_time
 from ..rng import LaggedFibonacciRandom
 from .cache import ResultCache, cache_key
 from .job import Job, JobResult
@@ -165,19 +165,19 @@ def execute_job(job: Job, graph: Any) -> JobResult:
         seed = job.seed if attempt == 0 else retry_seed(job.seed, attempt)
         seeds.append(seed)
         rng = LaggedFibonacciRandom(seed)
-        began = time.perf_counter()
+        began = monotonic_time()
         try:
             with _deadline(job.timeout):
                 result = algorithm(graph, rng)
         except JobTimeout as exc:
-            total += time.perf_counter() - began
+            total += monotonic_time() - began
             error = f"timeout: {exc}"
             continue
         except Exception as exc:  # noqa: BLE001 - robustness boundary by design
-            total += time.perf_counter() - began
+            total += monotonic_time() - began
             error = f"{type(exc).__name__}: {exc}"
             continue
-        total += time.perf_counter() - began
+        total += monotonic_time() - began
         return JobResult(
             job_id=job.job_id,
             graph_key=job.graph_key,
@@ -273,7 +273,7 @@ class Engine:
                 raise KeyError(f"job {job.job_id!r} references unknown graph "
                                f"{job.graph_key!r}")
         self.telemetry.emit("batch_start", jobs=len(jobs), workers=self.jobs)
-        began = time.perf_counter()
+        began = monotonic_time()
 
         results: list[JobResult | None] = [None] * len(jobs)
         with span("engine.batch", jobs=len(jobs), workers=self.jobs):
@@ -294,7 +294,7 @@ class Engine:
             if pending:
                 self._run_pending(pending, jobs, graphs, results)
 
-        wall = time.perf_counter() - began
+        wall = monotonic_time() - began
         for index, job in enumerate(jobs):
             result = results[index]
             self.telemetry.emit(
@@ -452,14 +452,14 @@ class Engine:
                     self.telemetry.emit("job_queued", job.job_id, mode="parallel")
                     future = pool.submit(_worker_run, job)
                     futures[future] = (index, job, key)
-                    submitted[future] = time.perf_counter()
+                    submitted[future] = monotonic_time()
                 for future in as_completed(futures):
                     index, job, key = futures[future]
                     result = future.result()
                     if queue_wait is not None:
                         # Turnaround minus compute approximates time spent
                         # waiting for a worker slot.
-                        wait = time.perf_counter() - submitted[future] - result.seconds
+                        wait = monotonic_time() - submitted[future] - result.seconds
                         queue_wait.observe(max(0.0, wait))
                     results[index] = result
                     self._store(key, result)

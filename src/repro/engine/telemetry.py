@@ -16,17 +16,19 @@ kept for older tail scripts:
      "job_id": "case0:kl:0", "t": 1723.4, "status": "ok", "cut": 14, ...}
 
 :class:`Timer` is the one-liner wall-clock context manager the CLI uses
-in place of hand-rolled ``time.perf_counter()`` pairs.
+in place of hand-rolled ``time.perf_counter()`` pairs.  All clock reads
+go through :mod:`repro.obs.clock` — the single sanctioned choke point
+the static analyzer (rule R002) allow-lists.
 """
 
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..obs.clock import monotonic_time, wall_time
 from ..obs.trace import envelope
 
 __all__ = ["TelemetryEvent", "Telemetry", "Timer"]
@@ -42,11 +44,11 @@ class Timer:
         self.seconds: float = 0.0
 
     def __enter__(self) -> "Timer":
-        self.began = time.perf_counter()
+        self.began = monotonic_time()
         return self
 
     def __exit__(self, *exc_info) -> bool:
-        self.seconds = time.perf_counter() - self.began
+        self.seconds = monotonic_time() - self.began
         return False
 
     @property
@@ -56,7 +58,7 @@ class Timer:
             return 0.0
         if self.seconds:
             return self.seconds
-        return time.perf_counter() - self.began
+        return monotonic_time() - self.began
 
 
 @dataclass(frozen=True)
@@ -83,7 +85,7 @@ class Telemetry:
         self.jsonl_path = Path(jsonl_path) if jsonl_path else None
 
     def emit(self, kind: str, job_id: str | None = None, **payload: Any) -> TelemetryEvent:
-        event = TelemetryEvent(kind=kind, job_id=job_id, t=time.time(), payload=payload)
+        event = TelemetryEvent(kind=kind, job_id=job_id, t=wall_time(), payload=payload)
         self.events.append(event)
         if self.jsonl_path is not None:
             with open(self.jsonl_path, "a", encoding="utf-8") as stream:

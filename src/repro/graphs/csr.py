@@ -33,7 +33,6 @@ from array import array
 from collections.abc import Mapping
 from itertools import compress
 from operator import mul, ne
-from time import perf_counter
 
 from .graph import Graph, Vertex
 
@@ -230,11 +229,12 @@ def csr_view(graph: Graph) -> CSRGraph:
     csr = derived.get("csr")
     if csr is None:
         from ..obs import counter, histogram, obs_enabled  # cycle-safe, cheap
+        from ..obs.clock import monotonic_time
 
         if obs_enabled():
-            began = perf_counter()
+            began = monotonic_time()
             csr = CSRGraph(graph)
-            histogram("csr_compile_seconds").observe(perf_counter() - began)
+            histogram("csr_compile_seconds").observe(monotonic_time() - began)
             counter("csr_compiles_total").inc()
         else:
             csr = CSRGraph(graph)

@@ -20,6 +20,7 @@ run never changes it.*  Instrumentation reads algorithm state; it never
 draws from the RNG, never reorders iteration, never rounds a decision.
 """
 
+from .clock import monotonic_time, wall_time
 from .ledger import (
     LEDGER_SCHEMA,
     build_ledger,
@@ -95,6 +96,7 @@ __all__ = [
     "ledger_dir",
     "load_ledger",
     "load_schema",
+    "monotonic_time",
     "new_run_id",
     "obs_enabled",
     "render_ledger",
@@ -105,5 +107,6 @@ __all__ = [
     "span",
     "span_totals",
     "validate_ledger",
+    "wall_time",
     "write_ledger",
 ]

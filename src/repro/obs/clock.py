@@ -1,0 +1,31 @@
+"""The sanctioned clocks: every wall-time read in the package funnels here.
+
+Reproducibility hygiene wants clock reads to be *auditable*: a seeded
+kernel must never branch on the time of day, and anything that does read
+a clock (telemetry timestamps, span durations, benchmark timings) should
+do it through one choke point so the static analyzer (rule **R002** in
+:mod:`repro.analysis`) can allow-list a single module instead of chasing
+``time.time()`` call sites around the tree.
+
+Two helpers, mirroring the two legitimate uses:
+
+* :func:`wall_time` — epoch seconds, for *timestamps* (telemetry events,
+  run ledgers, run ids).  Not monotonic; never use it to measure.
+* :func:`monotonic_time` — ``time.perf_counter()``, for *durations*
+  (spans, timers, benchmark measurements).  Meaningless as an absolute
+  value; only differences matter.
+
+Both are thin aliases — the point is the import path, not the behavior.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic_time", "wall_time"]
+
+#: Epoch seconds for timestamps (telemetry events, ledgers, run ids).
+wall_time = time.time
+
+#: High-resolution monotonic seconds for measuring durations.
+monotonic_time = time.perf_counter

@@ -77,6 +77,9 @@ class _Noop:
     def observe(self, value: float) -> None:
         pass
 
+    def observe_many(self, values) -> None:
+        pass
+
     def __repr__(self) -> str:
         return "NOOP"
 
@@ -158,6 +161,18 @@ class Histogram:
         self.counts[bisect_left(self.buckets, value)] += 1
         self.total += value
         self.count += 1
+
+    def observe_many(self, values) -> None:
+        """Observe an iterable of values in one call.
+
+        Equivalent to calling :meth:`observe` per element; exists so that
+        post-run flush code can hand over a whole trace without writing a
+        metric call inside a loop (the R004 hot-loop contract).
+        """
+        for value in values:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.total += value
+            self.count += 1
 
     def snapshot(self) -> dict[str, Any]:
         return {

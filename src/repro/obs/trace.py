@@ -28,11 +28,11 @@ import itertools
 import json
 import os
 import threading
-import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any
 
+from .clock import monotonic_time, wall_time
 from .metrics import REGISTRY, MetricsRegistry, obs_enabled
 
 __all__ = [
@@ -53,7 +53,7 @@ _run_counter = itertools.count()
 
 def new_run_id() -> str:
     """A fresh, human-sortable run id: epoch millis, pid, and a counter."""
-    return f"{int(time.time() * 1000):013d}-{os.getpid():05d}-{next(_run_counter)}"
+    return f"{int(wall_time() * 1000):013d}-{os.getpid():05d}-{next(_run_counter)}"
 
 
 def envelope(kind: str, run_id: str | None = None, **fields: Any) -> dict[str, Any]:
@@ -63,7 +63,7 @@ def envelope(kind: str, run_id: str | None = None, **fields: Any) -> dict[str, A
     lets one file carry every event stream.
     """
     record: dict[str, Any] = {
-        "ts": round(time.time(), 6),
+        "ts": round(wall_time(), 6),
         "run_id": run_id if run_id is not None else current_run_id(),
         "kind": kind,
     }
@@ -80,7 +80,7 @@ class Span:
         self.name = name
         self.attrs = attrs
         self.depth = depth
-        self.began = time.perf_counter()
+        self.began = monotonic_time()
         self.seconds = 0.0
         self.error: str | None = None
 
@@ -157,16 +157,16 @@ class RunContext:
         self.jsonl_path = Path(jsonl_path) if jsonl_path else None
         self.workload = dict(workload) if workload else {}
         self.collector = _SpanCollector()
-        self.started_at = time.time()
+        self.started_at = wall_time()
         self.finished_at: float | None = None
-        self._began = time.perf_counter()
+        self._began = monotonic_time()
         self.wall_seconds = 0.0
         self.spans: list[dict[str, Any]] = []
         self.metrics_before: dict[str, Any] = {}
 
     def finish(self) -> None:
-        self.finished_at = time.time()
-        self.wall_seconds = time.perf_counter() - self._began
+        self.finished_at = wall_time()
+        self.wall_seconds = monotonic_time() - self._began
 
     def record(self, finished: Span) -> None:
         self.collector.add(finished)
@@ -229,7 +229,7 @@ def span(name: str, **attrs: Any):
         active.error = type(exc).__name__
         raise
     finally:
-        active.seconds = time.perf_counter() - active.began
+        active.seconds = monotonic_time() - active.began
         stack.pop()
         run = _STATE.run
         if run is not None:

@@ -379,9 +379,9 @@ def _record_sa_obs(result: SAResult) -> None:
     gauge("sa_final_temperature").set(result.final_temperature)
     gauge("sa_acceptance_ratio").set(result.acceptance_ratio)
     if result.temperature_trace:
-        hist = histogram("sa_temperature_acceptance_ratio", buckets=RATIO_BUCKETS)
-        for _temperature, ratio, _cut in result.temperature_trace:
-            hist.observe(ratio)
+        histogram("sa_temperature_acceptance_ratio", buckets=RATIO_BUCKETS).observe_many(
+            ratio for _temperature, ratio, _cut in result.temperature_trace
+        )
 
 
 def _simulated_annealing_impl(

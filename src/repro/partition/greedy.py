@@ -47,7 +47,11 @@ def _best_swap(graph: Graph, assignment: dict, gains: dict):
         by_class.setdefault((assignment[v], graph.vertex_weight(v)), []).append(v)
 
     best = None
-    weights = {w for _, w in by_class}
+    # Sorted, not raw set order: when two weight classes offer equally good
+    # swaps, the winner is whichever class is scanned first, and small-int
+    # set order varies with insertion history (hash collisions mod table
+    # size), which would make the pick depend on graph construction order.
+    weights = sorted({w for _, w in by_class})
     for w in weights:
         side0 = by_class.get((0, w))
         side1 = by_class.get((1, w))
@@ -94,9 +98,11 @@ def greedy_improvement(
         assignment[a], assignment[b] = assignment[b], assignment[a]
         swaps += 1
         # Recompute gains of the swapped pair and their neighborhoods.
-        touched = {a, b}
-        touched.update(graph.neighbors(a))
-        touched.update(graph.neighbors(b))
+        # dict.fromkeys dedupes like a set but iterates in insertion order,
+        # keeping the update sequence independent of hash layout.
+        touched = dict.fromkeys((a, b))
+        touched.update(dict.fromkeys(graph.neighbors(a)))
+        touched.update(dict.fromkeys(graph.neighbors(b)))
         for v in touched:
             side_v = assignment[v]
             gains[v] = sum(

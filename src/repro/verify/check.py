@@ -15,13 +15,13 @@ explicit schedule (``size_factor=1``) so a full check stays interactive.
 from __future__ import annotations
 
 import tempfile
-import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..bench.tables import render_generic_table
 from ..engine import AlgorithmSpec, algorithm_info, algorithm_names, build_algorithm
+from ..obs.clock import monotonic_time
 from ..rng import LaggedFibonacciRandom
 from .invariants import check_result
 from .oracles import EXACT_MAX_VERTICES, check_against_optimum, exact_optimum
@@ -166,9 +166,9 @@ def _instance_object(instance: Instance, domain: str, hypergraphs: dict):
 
 
 def _run_one(algorithm, target, seed: int):
-    began = time.perf_counter()
+    began = monotonic_time()
     result = algorithm(target, LaggedFibonacciRandom(seed))
-    return result, time.perf_counter() - began
+    return result, monotonic_time() - began
 
 
 def run_check(

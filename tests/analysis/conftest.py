@@ -1,0 +1,40 @@
+"""Shared helpers for the static-analysis tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_lint(
+    subdir: str,
+    rule: str | None = None,
+    scopes: dict | None = None,
+    allow_zones: dict | None = None,
+):
+    """Run the linter over one fixture tree; returns the findings list."""
+    config = AnalysisConfig(
+        root=FIXTURES / subdir,
+        package="fx",
+        scopes=scopes or {},
+        allow_zones=allow_zones or {},
+        rules=(rule,) if rule else None,
+    )
+    findings, _rules, _project = analyze(config)
+    return findings
+
+
+@pytest.fixture
+def lint_fixture():
+    """The fixture-tree lint runner as a callable."""
+    return run_lint
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES

@@ -1,0 +1,13 @@
+"""R001 fail direction: shared-instance randomness."""
+
+import random
+from random import shuffle  # finding: binds a shared-instance function
+
+
+def draw():
+    return random.random()  # finding: shared-instance call
+
+
+def scramble(items):
+    shuffle(items)  # finding: resolves to random.shuffle through the alias
+    return items

@@ -1,0 +1,12 @@
+"""R001 pass direction: all randomness through seeded instances."""
+
+import random
+
+
+def scramble(rng: random.Random, items):
+    rng.shuffle(items)
+    return items
+
+
+def fresh_stream(seed):
+    return random.Random(seed)  # constructing a seeded instance is the point

@@ -1,0 +1,17 @@
+"""R002 fail direction: raw wall-clock reads."""
+
+import time
+from time import perf_counter
+from datetime import datetime
+
+
+def stamp():
+    return time.time()  # finding
+
+
+def duration():
+    return perf_counter()  # finding: resolves through the from-import
+
+
+def label():
+    return datetime.now()  # finding

@@ -1,0 +1,11 @@
+"""R002 pass direction: clock reads through the sanctioned choke point."""
+
+from repro.obs.clock import monotonic_time, wall_time
+
+
+def stamp():
+    return wall_time()
+
+
+def duration(began):
+    return monotonic_time() - began

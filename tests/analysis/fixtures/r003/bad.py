@@ -1,0 +1,16 @@
+"""R003 fail direction: a mutator that leaves `_derived` stale."""
+
+
+class Store:
+    def __init__(self):
+        self._items = {}
+        self._derived = {}
+
+    def put(self, key, value):  # finding: mutates without invalidating
+        self._items[key] = value
+
+    def drop(self, key):  # finding: container-mutator call, no invalidation
+        self._items.pop(key)
+
+    def lookup(self, key):  # clean: queries never need to invalidate
+        return self._items[key]

@@ -1,0 +1,25 @@
+"""R003 pass direction: direct and transitive invalidation."""
+
+
+class Store:
+    def __init__(self):
+        self._items = {}
+        self._derived = {}
+
+    def put(self, key, value):  # clean: invalidates directly
+        self._items[key] = value
+        self._derived.clear()
+
+    def drop(self, key):  # clean: invalidates through _invalidate
+        self._items.pop(key)
+        self._invalidate()
+
+    def replace(self, key, value):  # clean: reaches clear via two hops
+        self.drop(key)
+        self._items[key] = value
+
+    def _invalidate(self):
+        self._derived.clear()
+
+    def lookup(self, key):
+        return self._items[key]

@@ -1,0 +1,15 @@
+"""R004 fail direction: obs traffic inside loops."""
+
+from repro.obs import counter, span
+
+
+def kernel(n):
+    moves = counter("moves_total")
+    for i in range(n):
+        with span("pass"):  # finding: span acquired per iteration
+            moves.inc()  # finding: metric method on a bound metric, in-loop
+
+
+def anneal(schedule):
+    while schedule.cooling():  # finding below: factory call per iteration
+        counter("temperatures_total").inc()

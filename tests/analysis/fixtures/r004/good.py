@@ -1,0 +1,16 @@
+"""R004 pass direction: local accumulators flushed once after the loop."""
+
+from repro.obs import counter, histogram, span
+
+
+def kernel(n):
+    moves = 0
+    with span("kernel"):  # clean: one span around the whole run
+        for i in range(n):
+            moves += 1
+    counter("moves_total").inc(moves)  # clean: single post-loop flush
+
+
+def anneal(trace):
+    ratios = [ratio for _t, ratio in trace]
+    histogram("acceptance_ratio").observe_many(ratios)  # clean: bulk flush

@@ -1,0 +1,16 @@
+"""R005 fail direction: hash-order iteration feeding decisions."""
+
+
+def pick_class(classes):
+    weights = {w for _, w in classes}
+    for w in weights:  # finding: name bound to a set comprehension
+        return w
+
+
+def scan(graph):
+    for v in set(graph):  # finding: direct set() call
+        return v
+
+
+def collect(graph):
+    return [v for v in {u for u in graph}]  # finding: comprehension over a set

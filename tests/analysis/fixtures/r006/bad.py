@@ -1,0 +1,9 @@
+"""R006 fail direction: float equality in gain arithmetic."""
+
+
+def is_break_even(gain):
+    return gain == 0.0  # finding
+
+
+def unchanged(before, after):
+    return after - before != 0.5  # finding: float constant inside the operand

@@ -1,0 +1,9 @@
+"""R006 pass direction: integer gains, tolerance comparisons."""
+
+
+def is_break_even(gain):
+    return gain == 0  # clean: integer arithmetic
+
+
+def close(a, b, tol=1e-9):
+    return abs(a - b) < tol  # clean: ordering against a tolerance

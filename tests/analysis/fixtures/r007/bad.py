@@ -1,0 +1,15 @@
+"""R007 fail direction: bare and swallowing exception handlers."""
+
+
+def run(job):
+    try:
+        return job()
+    except:  # finding: bare except
+        return None
+
+
+def cleanup(path):
+    try:
+        path.unlink()
+    except OSError:  # finding: pass-only body swallows the error
+        pass

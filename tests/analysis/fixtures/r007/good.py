@@ -1,0 +1,16 @@
+"""R007 pass direction: handlers that act on the failure."""
+
+
+def run(job, telemetry):
+    try:
+        return job()
+    except ValueError as exc:  # clean: recorded and propagated as a result
+        telemetry.emit("job_failed", error=str(exc))
+        return None
+
+
+def read_or_default(path):
+    try:
+        return path.read_text()
+    except OSError:  # clean: a real fallback, not a swallow
+        return ""

@@ -1,0 +1,9 @@
+"""R008 fail direction: serializer and deserializer disagree on keys."""
+
+
+def to_payload(result):
+    return {"cut": result.cut, "seconds": result.seconds}
+
+
+def from_payload(payload):
+    return {"cut": payload["cut"], "swaps": payload.get("swaps")}

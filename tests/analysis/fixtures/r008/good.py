@@ -1,0 +1,9 @@
+"""R008 pass direction: symmetric payload round-trip."""
+
+
+def to_payload(result):
+    return {"cut": result.cut, "seconds": result.seconds}
+
+
+def from_payload(payload):
+    return {"cut": payload["cut"], "seconds": payload.get("seconds", 0.0)}

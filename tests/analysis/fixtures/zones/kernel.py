@@ -1,0 +1,7 @@
+"""Allow-zone fixture: the same call outside the zone is a finding."""
+
+import random
+
+
+def bootstrap_seed():
+    return random.getrandbits(64)

@@ -1,0 +1,7 @@
+"""Allow-zone fixture: shared-instance calls sanctioned inside rng.py."""
+
+import random
+
+
+def bootstrap_seed():
+    return random.getrandbits(64)

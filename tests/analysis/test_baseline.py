@@ -1,0 +1,115 @@
+"""Baseline workflow: suppression, staleness, justification policing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    Finding,
+    apply_baseline,
+    update_baseline,
+)
+
+
+def finding(rule="R001", path="a.py", context="f", line=10):
+    return Finding(
+        rule=rule, severity="error", path=path, line=line, col=0,
+        message="m", context=context,
+    )
+
+
+class TestApply:
+    def test_matching_entry_suppresses(self):
+        baseline = Baseline([BaselineEntry("R001", "a.py", "f", "accepted: legacy")])
+        unsup, sup, stale = apply_baseline([finding()], baseline)
+        assert unsup == [] and len(sup) == 1 and stale == []
+
+    def test_match_survives_line_drift(self):
+        # The key is (rule, path, context) — the line number is not part of
+        # it, so edits above the finding do not unsuppress it.
+        baseline = Baseline([BaselineEntry("R001", "a.py", "f", "accepted: legacy")])
+        unsup, sup, _ = apply_baseline([finding(line=999)], baseline)
+        assert unsup == [] and len(sup) == 1
+
+    def test_non_matching_finding_passes_through(self):
+        baseline = Baseline([BaselineEntry("R001", "a.py", "f", "ok")])
+        unsup, sup, stale = apply_baseline([finding(context="g")], baseline)
+        assert len(unsup) == 1 and sup == []
+        assert [e.context for e in stale] == ["f"]
+
+    def test_stale_entries_reported(self):
+        baseline = Baseline([BaselineEntry("R004", "gone.py", "x", "ok")])
+        _, _, stale = apply_baseline([], baseline)
+        assert len(stale) == 1
+
+
+class TestJustifications:
+    def test_missing_and_placeholder_flagged(self):
+        baseline = Baseline(
+            [
+                BaselineEntry("R001", "a.py", "f", ""),
+                BaselineEntry("R002", "b.py", "g", "TODO: justify or fix"),
+                BaselineEntry("R003", "c.py", "h", "real reason"),
+            ]
+        )
+        problems = dict(
+            ((e.rule, p) for e, p in baseline.problems())
+        )
+        assert problems == {
+            ("R001"): "missing justification",
+            ("R002"): "placeholder justification",
+        }
+
+
+class TestUpdate:
+    def test_new_findings_get_todo_stub(self):
+        updated = update_baseline([finding()], Baseline())
+        assert len(updated.entries) == 1
+        assert updated.entries[0].problem() == "placeholder justification"
+
+    def test_existing_justifications_preserved(self):
+        old = Baseline([BaselineEntry("R001", "a.py", "f", "accepted: legacy")])
+        updated = update_baseline([finding()], old)
+        assert updated.entries[0].justification == "accepted: legacy"
+
+    def test_resolved_findings_dropped(self):
+        old = Baseline(
+            [
+                BaselineEntry("R001", "a.py", "f", "keep"),
+                BaselineEntry("R001", "gone.py", "g", "drop"),
+            ]
+        )
+        updated = update_baseline([finding()], old)
+        assert [e.path for e in updated.entries] == ["a.py"]
+
+
+class TestSerialization:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        baseline = Baseline(
+            [
+                BaselineEntry("R004", "b.py", "g", "why"),
+                BaselineEntry("R001", "a.py", "f", "because"),
+            ]
+        )
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        # Entries come back sorted by key.
+        assert [e.key() for e in loaded.entries] == [
+            ("R001", "a.py", "f"),
+            ("R004", "b.py", "g"),
+        ]
+        assert loaded.entries[0].justification == "because"
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").entries == []
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 2, "suppressions": []}))
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            Baseline.load(path)

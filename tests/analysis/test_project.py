@@ -1,0 +1,101 @@
+"""Project model: scanning, aliases, import graph, call-graph sketch."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis import ProjectModel
+from repro.analysis.project import qualified_call_name, self_method_calls
+
+
+def write_tree(root: Path, files: dict[str, str]) -> None:
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+
+
+class TestScan:
+    def test_module_names_and_relpaths(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "a.py": "import random\n",
+                "sub/__init__.py": "",
+                "sub/b.py": "from ..a import thing\n",
+            },
+        )
+        model = ProjectModel.scan(tmp_path, package="pkg")
+        assert set(model.modules) == {"pkg", "pkg.a", "pkg.sub", "pkg.sub.b"}
+        assert model.modules["pkg.sub.b"].relpath == "sub/b.py"
+
+    def test_relative_imports_resolve_internally(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "__init__.py": "",
+                "a.py": "X = 1\n",
+                "sub/__init__.py": "",
+                "sub/b.py": "from ..a import X\nfrom . import c\n",
+                "sub/c.py": "",
+            },
+        )
+        model = ProjectModel.scan(tmp_path, package="pkg")
+        imports = model.import_graph()["pkg.sub.b"]
+        assert imports == {"pkg.a", "pkg.sub.c"}
+
+    def test_external_imports_and_importers_of(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "a.py": "import random\nimport os.path\n",
+                "b.py": "from random import Random\n",
+                "c.py": "import json\n",
+            },
+        )
+        model = ProjectModel.scan(tmp_path, package="pkg")
+        assert model.modules["pkg.a"].external_imports == {"random", "os"}
+        importers = [m.name for m in model.importers_of("random")]
+        assert importers == ["pkg.a", "pkg.b"]
+
+
+class TestAliases:
+    def test_import_as_and_from_import_as(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "a.py": (
+                    "import time\n"
+                    "import os.path as osp\n"
+                    "from time import perf_counter as pc\n"
+                ),
+            },
+        )
+        info = ProjectModel.scan(tmp_path, package="pkg").modules["pkg.a"]
+        assert info.aliases["time"] == "time"
+        assert info.aliases["osp"] == "os.path"
+        assert info.aliases["pc"] == "time.perf_counter"
+
+    def test_qualified_call_name_resolution(self):
+        aliases = {"time": "time", "pc": "time.perf_counter"}
+        call = ast.parse("time.perf_counter()").body[0].value
+        assert qualified_call_name(call.func, aliases) == "time.perf_counter"
+        bare = ast.parse("pc()").body[0].value
+        assert qualified_call_name(bare.func, aliases) == "time.perf_counter"
+        local = ast.parse("helper()").body[0].value
+        assert qualified_call_name(local.func, aliases) is None
+
+
+class TestCallGraphSketch:
+    def test_self_method_calls(self):
+        src = (
+            "class C:\n"
+            "    def a(self):\n"
+            "        self.b()\n"
+            "        self.c(1)\n"
+            "        other.d()\n"
+        )
+        func = ast.parse(src).body[0].body[0]
+        assert self_method_calls(func) == {"b", "c"}

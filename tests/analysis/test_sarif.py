@@ -1,0 +1,85 @@
+"""SARIF 2.1.0 shape assertions for the analysis emitter."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    Finding,
+    default_rules,
+    to_sarif,
+)
+
+
+def finding(rule="R001", path="a.py", line=3, severity="error"):
+    return Finding(
+        rule=rule, severity=severity, path=path, line=line, col=4,
+        message="boom", context="f",
+    )
+
+
+class TestDocumentShape:
+    def test_top_level(self):
+        doc = to_sarif([finding()], rules=default_rules())
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        assert len(doc["runs"]) == 1
+
+    def test_driver_declares_every_rule(self):
+        rules = default_rules()
+        driver = to_sarif([], rules=rules)["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-analysis"
+        declared = [r["id"] for r in driver["rules"]]
+        assert declared == sorted(r.id for r in rules)
+        for entry in driver["rules"]:
+            assert entry["shortDescription"]["text"]
+            assert entry["defaultConfiguration"]["level"] in {"error", "warning", "note"}
+
+    def test_result_location_and_rule_index(self):
+        rules = default_rules()
+        doc = to_sarif([finding(rule="R002")], rules=rules)
+        run = doc["runs"][0]
+        (result,) = run["results"]
+        assert result["ruleId"] == "R002"
+        declared = run["tool"]["driver"]["rules"]
+        assert declared[result["ruleIndex"]]["id"] == "R002"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"] == {"uri": "a.py", "uriBaseId": "SRCROOT"}
+        # SARIF columns are 1-based; Finding.col is 0-based.
+        assert loc["region"] == {"startLine": 3, "startColumn": 5}
+
+    def test_suppressed_findings_carry_justification(self):
+        doc = to_sarif(
+            [], suppressed=[(finding(), "accepted: legacy span")],
+            rules=default_rules(),
+        )
+        (result,) = doc["runs"][0]["results"]
+        (sup,) = result["suppressions"]
+        assert sup == {"kind": "external", "justification": "accepted: legacy span"}
+
+    def test_unsuppressed_findings_have_no_suppressions_key(self):
+        doc = to_sarif([finding()], rules=default_rules())
+        assert "suppressions" not in doc["runs"][0]["results"][0]
+
+    def test_severity_maps_to_level(self):
+        doc = to_sarif(
+            [finding(severity="warning"), finding(path="b.py")],
+            rules=default_rules(),
+        )
+        levels = {
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]: r["level"]
+            for r in doc["runs"][0]["results"]
+        }
+        assert levels == {"a.py": "warning", "b.py": "error"}
+
+    def test_document_is_json_serializable(self):
+        doc = to_sarif([finding()], rules=default_rules())
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_partial_fingerprint_is_line_independent(self):
+        a = to_sarif([finding(line=1)], rules=default_rules())
+        b = to_sarif([finding(line=500)], rules=default_rules())
+        fp = lambda d: d["runs"][0]["results"][0]["partialFingerprints"]["repro/v1"]
+        assert fp(a) == fp(b)

@@ -1,0 +1,76 @@
+"""Golden seeded-output streams: the lint-driven audits changed nothing.
+
+This PR's satellites touched every module the RNG (R001) and wall-clock
+(R002) audits named — generators, engine, partitioners, and the clock
+rewiring through ``repro.obs.clock``.  These tests pin exact values from
+the seeded streams and seeded algorithm results as they stood before the
+audit, so any accidental behavioral drift in a "behavior-preserving"
+cleanup fails loudly rather than silently shifting every downstream
+experiment.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.graphs.generators import gnp
+from repro.graphs.graph import graph_fingerprint
+from repro.partition.greedy import greedy_improvement
+from repro.partition.kl import kernighan_lin
+from repro.partition.random_init import random_assignment
+from repro.rng import LaggedFibonacciRandom, derive_seed
+
+
+class TestRawStreams:
+    def test_lagged_fibonacci_draws(self):
+        rng = LaggedFibonacciRandom(12345)
+        draws = [round(rng.random(), 12) for _ in range(4)]
+        assert draws == [
+            0.105441525644,
+            0.466931255274,
+            0.816342463923,
+            0.215203731586,
+        ]
+
+    def test_derived_seed(self):
+        assert derive_seed(LaggedFibonacciRandom(12345), 3) == 13859927274116807933
+
+
+class TestSeededArtifacts:
+    def test_generator_fingerprint(self):
+        assert graph_fingerprint(gnp(24, 0.3, rng=7)) == (
+            "29be8bb0e3b05a8ef58e99541f07ab1d0ae0c7ca90429d5e282ad3c835459915"
+        )
+
+    def test_random_assignment_stream(self):
+        g = gnp(24, 0.3, rng=7)
+        a = random_assignment(g, LaggedFibonacciRandom(9))
+        assert "".join(str(a[v]) for v in g.vertices()) == "101100010111011101000010"
+
+
+class TestSeededAlgorithmResults:
+    def test_kl_cut(self):
+        assert kernighan_lin(gnp(24, 0.3, rng=7), rng=3).cut == 24
+
+    def test_sa_cut(self):
+        from repro.partition.annealing.sa import simulated_annealing
+
+        assert simulated_annealing(gnp(24, 0.3, rng=7), rng=4).cut == 24
+
+    def test_greedy_cut(self):
+        assert greedy_improvement(gnp(24, 0.3, rng=7), rng=5).cut == 26
+
+    def test_observability_does_not_perturb_streams(self, monkeypatch):
+        # The clock rewiring lives inside the obs layer: flipping obs on and
+        # off must not move a single seeded decision.
+        results = {}
+        for flag in ("0", "1"):
+            monkeypatch.setenv("REPRO_OBS", flag)
+            g = gnp(24, 0.3, rng=7)
+            results[flag] = (
+                kernighan_lin(g, rng=3).cut,
+                greedy_improvement(g, rng=5).cut,
+            )
+        assert results["0"] == results["1"]

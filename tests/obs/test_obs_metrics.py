@@ -59,6 +59,20 @@ class TestHistogram:
         snap = h.snapshot()
         assert snap == {"buckets": [0.1], "counts": [1, 0], "sum": 0.05, "count": 1}
 
+    def test_observe_many_matches_per_element_observe(self):
+        values = [0.5, 1.0, 1.5, 9.0]
+        bulk = Histogram("t_seconds", buckets=(1.0, 2.0))
+        bulk.observe_many(iter(values))  # any iterable, not just lists
+        loop = Histogram("t_seconds", buckets=(1.0, 2.0))
+        for v in values:
+            loop.observe(v)
+        assert bulk.snapshot() == loop.snapshot()
+
+    def test_observe_many_empty_is_a_no_op(self):
+        h = Histogram("t_seconds", buckets=(1.0,))
+        h.observe_many([])
+        assert h.count == 0 and h.total == 0.0
+
     def test_unsorted_buckets_rejected(self):
         with pytest.raises(ValueError, match="ascending"):
             Histogram("bad", buckets=(2.0, 1.0))
@@ -172,6 +186,7 @@ class TestGating:
         NOOP.dec()
         NOOP.set(3.0)
         NOOP.observe(0.1)
+        NOOP.observe_many([0.1, 0.2])
 
     def test_disabled_factories_leave_registry_untouched(self, monkeypatch):
         monkeypatch.setenv("REPRO_OBS", "0")

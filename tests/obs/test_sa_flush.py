@@ -1,0 +1,30 @@
+"""Regression: SA flushes its acceptance-ratio trace in bulk, post-run.
+
+`_record_sa_obs` used to call `hist.observe(...)` inside a loop over the
+temperature trace — an R004 violation.  It now hands the whole trace to
+:meth:`Histogram.observe_many`; these tests pin that the bulk flush
+records exactly the per-temperature data the loop did.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.generators import gnp
+from repro.obs import REGISTRY
+from repro.partition.annealing.sa import simulated_annealing
+
+
+class TestSAHistogramFlush:
+    def test_observe_many_records_full_trace(self):
+        result = simulated_annealing(gnp(20, 0.3, rng=3), rng=1)
+        assert result.temperature_trace  # the run actually traced something
+        snap = REGISTRY.snapshot()["histograms"]["sa_temperature_acceptance_ratio"]
+        assert snap["count"] == len(result.temperature_trace)
+        expected_sum = sum(ratio for _t, ratio, _c in result.temperature_trace)
+        assert abs(snap["sum"] - expected_sum) < 1e-12
+
+    def test_flush_does_not_change_the_walk(self, monkeypatch):
+        cuts = {}
+        for flag in ("0", "1"):
+            monkeypatch.setenv("REPRO_OBS", flag)
+            cuts[flag] = simulated_annealing(gnp(20, 0.3, rng=3), rng=1).cut
+        assert cuts["0"] == cuts["1"]

@@ -57,3 +57,69 @@ class TestGreedy:
             greedy_improvement(weighted_graph, rng=7).bisection.assignment(),
         )
         assert result.bisection.imbalance == before.imbalance
+
+
+def _tie_gadget_graph(first_weight: int, second_weight: int) -> Graph:
+    """Two disjoint gadgets of vertex weights 1 and 9, each offering one
+    best swap of identical gain (+4), added in the given weight order.
+
+    Weights 1 and 9 collide modulo CPython's initial hash-table size, so a
+    raw ``set`` of them iterates in insertion-dependent order — exactly the
+    hazard the sorted-weights fix in ``_best_swap`` removes.
+    """
+    g = Graph()
+    for w in (first_weight, second_weight):
+        for name in ("a", "c1", "c2", "b", "d1", "d2"):
+            g.add_vertex(f"{name}{w}", weight=w)
+        g.add_edge(f"a{w}", f"d1{w}")
+        g.add_edge(f"a{w}", f"d2{w}")
+        g.add_edge(f"b{w}", f"c1{w}")
+        g.add_edge(f"b{w}", f"c2{w}")
+    return g
+
+
+def _gadget_state(graph: Graph):
+    assignment = {
+        v: (0 if v[0] in ("a", "c") else 1) for v in graph.vertices()
+    }
+    gains = {}
+    for v in graph.vertices():
+        side_v = assignment[v]
+        gains[v] = sum(
+            w if assignment[u] != side_v else -w for u, w in graph.neighbor_items(v)
+        )
+    return assignment, gains
+
+
+class TestConstructionOrderInvariance:
+    """Regression: greedy decisions must not depend on hash-set layout.
+
+    ``_best_swap`` used to scan weight classes in raw ``set`` order; with
+    weights {1, 9} (a hash collision in a size-8 table) the scan order —
+    and therefore which of two equally good cross-class swaps won — varied
+    with graph construction order.
+    """
+
+    def test_best_swap_tie_break_ignores_insertion_order(self):
+        from repro.partition.greedy import _best_swap
+
+        picks = []
+        for first, second in ((1, 9), (9, 1)):
+            graph = _tie_gadget_graph(first, second)
+            assignment, gains = _gadget_state(graph)
+            best = _best_swap(graph, assignment, gains)
+            assert best is not None and best[0] == 4
+            picks.append(best)
+        assert picks[0] == picks[1]
+
+    def test_full_run_identical_across_insertion_orders(self):
+        results = []
+        for first, second in ((1, 9), (9, 1)):
+            graph = _tie_gadget_graph(first, second)
+            assignment, _ = _gadget_state(graph)
+            init = Bisection(graph, assignment)
+            result = greedy_improvement(graph, init=init)
+            results.append(
+                (result.cut, result.swaps, dict(result.bisection.assignment()))
+            )
+        assert results[0] == results[1]
