@@ -51,8 +51,10 @@ DEFAULT_SCOPES: Mapping[str, tuple[str, ...]] = {
     "R005": ("partition/", "graphs/generators/"),
     # Gain arithmetic lives in the partitioners.
     "R006": ("partition/",),
-    # The execution engine is the robustness boundary.
-    "R007": ("engine/",),
+    # The robustness boundaries: the execution engine and the HTTP
+    # service in front of it (a swallowed exception in a request handler
+    # turns into a silent hang for the client).
+    "R007": ("engine/", "service/"),
 }
 
 

@@ -29,6 +29,17 @@ Examples::
     # Verify every registered algorithm against the invariant, exact,
     # and metamorphic oracles (exits non-zero on any violation)
     repro-bisect check --json report.json
+
+    # Serve the engine over HTTP, then load-test it
+    repro-bisect serve --port 8642 --workers 4
+    repro-bisect load --url http://127.0.0.1:8642 --requests 500 --concurrency 32
+
+    # Interactive graph session (CSV import, path queries, remote submit)
+    repro-bisect repl
+
+    # Inspect or bound the content-addressed result cache
+    repro-bisect cache stats
+    repro-bisect cache prune --max-bytes 50000000
 """
 
 from __future__ import annotations
@@ -646,6 +657,131 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import make_server
+
+    store = None if args.no_cache else ResultCache(getattr(args, "cache_dir", None))
+    api_keys = None
+    if args.api_keys:
+        try:
+            with open(args.api_keys, encoding="utf-8") as stream:
+                api_keys = json.load(stream)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"cannot read API key table {args.api_keys}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(api_keys, dict):
+            print(f"{args.api_keys}: expected a JSON object of key -> tenant spec",
+                  file=sys.stderr)
+            return 2
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache=store,
+        telemetry=Telemetry(getattr(args, "telemetry", None)),
+        api_keys=api_keys,
+        quiet=not args.verbose,
+        default_timeout=args.timeout,
+        default_retries=args.retries,
+        max_inflight=args.max_inflight,
+        max_graphs=args.max_graphs,
+    )
+    cache_note = "off" if store is None else str(store.root)
+    tenancy = "open (no API keys)" if api_keys is None else f"{len(api_keys)} tenant(s)"
+    print(f"serving on {server.url}")
+    print(f"workers: {args.workers}  cache: {cache_note}  tenancy: {tenancy}")
+    print("endpoints: /v1/health /v1/graphs /v1/jobs /v1/results /metrics "
+          "(Ctrl-C stops)")
+    try:
+        server.serve_forever()
+    finally:
+        # Runs on Ctrl-C too: stop accepting, drain the worker pool, then
+        # let the KeyboardInterrupt propagate to main() for exit code 130.
+        server.close()
+    return 0
+
+
+def _cmd_repl(args: argparse.Namespace) -> int:
+    from .service import run_repl
+
+    return run_repl(sys.stdin, sys.stdout)
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    from .service import render_load_report, run_load
+
+    generator_params = {
+        "vertices": args.vertices,
+        "width": args.width,
+        "degree": args.degree,
+        "seed": args.graph_seed,
+    }
+    if args.url:
+        report = run_load(
+            args.url,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            rounds=args.rounds,
+            algorithm=args.algorithm,
+            distinct_seeds=args.distinct_seeds,
+            generator_params=generator_params,
+            api_key=args.api_key,
+            job_timeout=args.job_timeout,
+        )
+    else:
+        # No --url: boot an in-process server on an ephemeral port and
+        # load-test that, so the command is self-contained.
+        from .service import ServiceThread
+
+        store = None if args.no_cache else ResultCache(getattr(args, "cache_dir", None))
+        with ServiceThread(
+            workers=args.workers, cache=store,
+            telemetry=Telemetry(getattr(args, "telemetry", None)),
+            max_inflight=max(64, 2 * args.concurrency),
+        ) as service:
+            print(f"self-serving on {service.url} ({args.workers} worker(s))")
+            report = run_load(
+                service.url,
+                requests=args.requests,
+                concurrency=args.concurrency,
+                rounds=args.rounds,
+                algorithm=args.algorithm,
+                distinct_seeds=args.distinct_seeds,
+                generator_params=generator_params,
+                job_timeout=args.job_timeout,
+            )
+    print(render_load_report(report))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"wrote {args.json_out}")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = ResultCache(getattr(args, "cache_dir", None))
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"root: {stats['root']}")
+        print(f"entries: {stats['entries']}")
+        print(f"bytes: {stats['bytes']}")
+        if stats["entries"]:
+            span_seconds = (stats["newest_mtime"] or 0) - (stats["oldest_mtime"] or 0)
+            print(f"write span: {span_seconds:.0f}s")
+        return 0
+    # prune
+    if args.max_bytes is None:
+        print("cache prune requires --max-bytes", file=sys.stderr)
+        return 2
+    report = store.prune(args.max_bytes)
+    print(
+        f"removed {report['removed']} entr{'y' if report['removed'] == 1 else 'ies'}, "
+        f"freed {report['freed_bytes']} bytes, kept {report['kept_bytes']} bytes"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bisect",
@@ -883,10 +1019,160 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("--out", help="write the report here instead of stdout")
     lint.set_defaults(func=_cmd_lint)
+
+    serve = sub.add_parser(
+        "serve", help="serve the partitioning engine over HTTP/JSON"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="listen port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="engine worker threads shared by all tenants (default: 2)",
+    )
+    serve.add_argument(
+        "--api-keys", metavar="PATH",
+        help="JSON file mapping API key -> {name, max_inflight, max_graphs}; "
+        "omitted = open mode (one shared 'public' tenant)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=_positive_int, default=64,
+        help="default per-tenant in-flight job quota (default: 64)",
+    )
+    serve.add_argument(
+        "--max-graphs", type=_positive_int, default=32,
+        help="default per-tenant stored-graph quota (default: 32)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-job timeout passed to submissions",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=0,
+        help="default per-job retries (each retry derives a fresh seed)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request to stderr"
+    )
+    serve.add_argument(
+        "--telemetry",
+        help="append engine telemetry events to this JSONL file",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    serve.add_argument(
+        "--cache-dir",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-bisect)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    repl = sub.add_parser(
+        "repl", help="interactive graph session (CSV import, queries, submit)"
+    )
+    repl.set_defaults(func=_cmd_repl)
+
+    load = sub.add_parser(
+        "load", help="load-test a running serve (or a self-served instance)"
+    )
+    load.add_argument(
+        "--url",
+        help="service base URL; omitted = boot an in-process server first",
+    )
+    load.add_argument(
+        "--requests", type=_positive_int, default=100,
+        help="submit/poll/fetch interactions per round (default: 100)",
+    )
+    load.add_argument(
+        "--concurrency", type=_positive_int, default=8,
+        help="concurrent client threads (default: 8)",
+    )
+    load.add_argument(
+        "--rounds", type=_positive_int, default=2,
+        help="times to replay the identical request set (default: 2; "
+        "round 2 should be nearly all cache hits)",
+    )
+    load.add_argument(
+        "--algorithm", choices=_GRAPH_ALGORITHMS, default="ckl",
+        help="algorithm each job runs (default: ckl)",
+    )
+    load.add_argument(
+        "--distinct-seeds", type=_positive_int, default=None,
+        help="seed pool size; requests cycle through it "
+        "(default: requests // 4)",
+    )
+    load.add_argument(
+        "--vertices", type=_positive_int, default=500,
+        help="Gbreg graph size for the workload (default: 500)",
+    )
+    load.add_argument("--width", type=_positive_int, default=4)
+    load.add_argument("--degree", type=_positive_int, default=3)
+    load.add_argument("--graph-seed", type=int, default=0)
+    load.add_argument("--api-key", help="X-API-Key for keyed servers")
+    load.add_argument(
+        "--job-timeout", type=float, default=120.0,
+        help="per-request poll deadline in seconds (default: 120)",
+    )
+    load.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="worker threads for the self-served instance (no --url only)",
+    )
+    load.add_argument("--json-out", help="also write the full JSON report here")
+    load.add_argument(
+        "--no-cache", action="store_true",
+        help="self-served instance: disable the result cache",
+    )
+    load.add_argument(
+        "--cache-dir", help="self-served instance: result cache directory"
+    )
+    load.add_argument(
+        "--telemetry", help="self-served instance: telemetry JSONL file"
+    )
+    load.set_defaults(func=_cmd_load)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or bound the content-addressed result cache"
+    )
+    cache.add_argument("action", choices=["stats", "prune"])
+    cache.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="prune: evict oldest entries until total size fits this budget",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-bisect)",
+    )
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    try:
+        return _dispatch(argv)
+    except KeyboardInterrupt:
+        # Conventional 128+SIGINT exit; the newline keeps the shell prompt
+        # off the interrupted command's output line.
+        print(file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # Downstream closed early (e.g. `repro-bisect ... | head`).  Point
+        # stdout at devnull so the interpreter's exit-time flush doesn't
+        # raise a second BrokenPipeError, and exit cleanly.
+        import os
+
+        try:
+            fd = sys.stdout.fileno()
+        except (OSError, ValueError):  # stdout is not a real file (tests)
+            fd = None
+        if fd is not None:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), fd)
+        return 0
+
+
+def _dispatch(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     ledger_target = getattr(args, "ledger", None)
     if ledger_target is None:

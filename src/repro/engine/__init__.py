@@ -17,6 +17,7 @@ helpers in :mod:`repro.engine.batch`.
 from .batch import BatchEntry, read_batch_file, run_batch
 from .cache import ResultCache, cache_key, default_cache_dir
 from .executor import Engine, JobTimeout, execute_job, retry_seed
+from .handles import JobHandle, JobRunner
 from .job import Algorithm, AlgorithmSpec, Job, JobResult
 from .registry import (
     AlgorithmInfo,
@@ -34,7 +35,9 @@ __all__ = [
     "BatchEntry",
     "Engine",
     "Job",
+    "JobHandle",
     "JobResult",
+    "JobRunner",
     "JobTimeout",
     "ResultCache",
     "Telemetry",

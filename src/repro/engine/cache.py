@@ -25,6 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from collections.abc import Iterator
 from pathlib import Path
 from typing import Any
 
@@ -81,10 +82,76 @@ class ResultCache:
             json.dump(payload, stream, sort_keys=True)
         os.replace(tmp, path)
 
-    def __len__(self) -> int:
+    def entries(self) -> Iterator[Path]:
+        """Paths of every stored result (skips ledgers and stray files).
+
+        Result entries live exactly one two-hex-character shard below the
+        root; anything else under the root (the ``ledgers/`` directory,
+        temp files) is not a cache entry.
+        """
         if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            yield from sorted(shard.glob("*.json"))
+
+    def stats(self) -> dict[str, Any]:
+        """Entry count, total payload bytes, and oldest/newest write times."""
+        count = 0
+        total_bytes = 0
+        oldest: float | None = None
+        newest: float | None = None
+        for path in self.entries():
+            try:
+                meta = path.stat()
+            except OSError:
+                continue  # entry pruned/replaced underneath us
+            count += 1
+            total_bytes += meta.st_size
+            if oldest is None or meta.st_mtime < oldest:
+                oldest = meta.st_mtime
+            if newest is None or meta.st_mtime > newest:
+                newest = meta.st_mtime
+        return {
+            "root": str(self.root),
+            "entries": count,
+            "bytes": total_bytes,
+            "oldest_mtime": oldest,
+            "newest_mtime": newest,
+        }
+
+    def prune(self, max_bytes: int) -> dict[str, Any]:
+        """Evict oldest entries (by mtime) until total size <= ``max_bytes``.
+
+        Returns ``{"removed": n, "freed_bytes": b, "kept_bytes": k}``.
+        Ledgers and non-entry files are never touched.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        sized: list[tuple[float, int, Path]] = []
+        for path in self.entries():
+            try:
+                meta = path.stat()
+            except OSError:
+                continue
+            sized.append((meta.st_mtime, meta.st_size, path))
+        total = sum(size for _, size, _ in sized)
+        removed = 0
+        freed = 0
+        for _, size, path in sorted(sized, key=lambda item: (item[0], item[2].name)):
+            if total - freed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # already gone: someone else pruned it
+            removed += 1
+            freed += size
+        return {"removed": removed, "freed_bytes": freed, "kept_bytes": total - freed}
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
 
     def __repr__(self) -> str:
         return f"ResultCache({str(self.root)!r}, entries={len(self)})"

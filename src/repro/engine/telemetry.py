@@ -24,6 +24,7 @@ the static analyzer (rule R002) allow-lists.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -78,18 +79,26 @@ class TelemetryEvent:
 
 
 class Telemetry:
-    """Event collector with an optional JSONL file sink."""
+    """Event collector with an optional JSONL file sink.
+
+    ``emit`` is thread-safe: the in-memory list append and the JSONL
+    line write happen under one lock, so concurrent emitters (service
+    handler threads, :class:`~repro.engine.handles.JobRunner` workers)
+    never interleave partial lines or lose events.
+    """
 
     def __init__(self, jsonl_path: str | Path | None = None) -> None:
         self.events: list[TelemetryEvent] = []
         self.jsonl_path = Path(jsonl_path) if jsonl_path else None
+        self._lock = threading.Lock()
 
     def emit(self, kind: str, job_id: str | None = None, **payload: Any) -> TelemetryEvent:
         event = TelemetryEvent(kind=kind, job_id=job_id, t=wall_time(), payload=payload)
-        self.events.append(event)
-        if self.jsonl_path is not None:
-            with open(self.jsonl_path, "a", encoding="utf-8") as stream:
-                stream.write(event.to_json() + "\n")
+        with self._lock:
+            self.events.append(event)
+            if self.jsonl_path is not None:
+                with open(self.jsonl_path, "a", encoding="utf-8") as stream:
+                    stream.write(event.to_json() + "\n")
         return event
 
     def count(self, kind: str) -> int:

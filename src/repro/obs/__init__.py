@@ -41,6 +41,7 @@ from .metrics import (
     counter,
     gauge,
     histogram,
+    histogram_quantile,
     obs_enabled,
 )
 from .trace import (
@@ -93,6 +94,7 @@ __all__ = [
     "envelope",
     "gauge",
     "histogram",
+    "histogram_quantile",
     "ledger_dir",
     "load_ledger",
     "load_schema",

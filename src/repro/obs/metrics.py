@@ -39,6 +39,7 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "histogram_quantile",
     "obs_enabled",
 ]
 
@@ -181,6 +182,40 @@ class Histogram:
             "sum": self.total,
             "count": self.count,
         }
+
+
+def histogram_quantile(
+    buckets: list[float] | tuple[float, ...],
+    counts: list[int] | tuple[int, ...],
+    q: float,
+) -> float | None:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram snapshot.
+
+    ``buckets`` are the ascending upper bounds and ``counts`` the per-bucket
+    (non-cumulative) counts including the trailing ``+Inf`` bucket, exactly
+    as :meth:`Histogram.snapshot` lays them out.  The estimate interpolates
+    linearly inside the target bucket (Prometheus ``histogram_quantile``
+    convention); observations in the ``+Inf`` bucket clamp to the largest
+    finite bound.  Returns ``None`` for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= rank and bucket_count:
+            if index >= len(buckets):  # +Inf bucket: clamp to last bound
+                return float(buckets[-1]) if buckets else 0.0
+            lower = float(buckets[index - 1]) if index else 0.0
+            upper = float(buckets[index])
+            fraction = (rank - previous) / bucket_count
+            return lower + (upper - lower) * fraction
+    return float(buckets[-1]) if buckets else 0.0
 
 
 def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:

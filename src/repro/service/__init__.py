@@ -1,0 +1,51 @@
+"""Partitioning-as-a-service: HTTP/JSON job server, REPL, and load harness.
+
+The service layer is the long-running front door over the same engine the
+CLI batch commands use — submit a job through ``repro-bisect run``,
+``repro-bisect batch``, or ``POST /v1/jobs`` and you get the identical
+result bit for bit, served from the same content-addressed cache.
+
+* :mod:`repro.service.state` — tenants, quotas, graph store, job table;
+* :mod:`repro.service.server` — stdlib ``ThreadingHTTPServer`` front end;
+* :mod:`repro.service.client` — ``urllib`` JSON client;
+* :mod:`repro.service.repl` — the interactive graph session
+  (``repro-bisect repl``);
+* :mod:`repro.service.loadgen` — the concurrent load harness
+  (``repro-bisect load``).
+
+Everything is stdlib-only and instrumented through :mod:`repro.obs`, so
+``GET /metrics`` exposes engine and service metrics in one scrape.
+"""
+
+from .client import ServiceClient, ServiceClientError
+from .loadgen import render_load_report, run_load
+from .repl import ReplSession, run_repl
+from .server import ServiceServer, ServiceThread, make_server
+from .state import (
+    AuthError,
+    NotFoundError,
+    QuotaError,
+    ServiceError,
+    ServiceState,
+    Tenant,
+    ValidationError,
+)
+
+__all__ = [
+    "AuthError",
+    "NotFoundError",
+    "QuotaError",
+    "ReplSession",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceState",
+    "ServiceThread",
+    "Tenant",
+    "ValidationError",
+    "make_server",
+    "render_load_report",
+    "run_load",
+    "run_repl",
+]

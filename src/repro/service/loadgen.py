@@ -1,0 +1,308 @@
+"""Concurrent load generator for the partitioning service.
+
+``repro-bisect load`` drives a running server (or boots one in-process
+with ``--self-serve``) with N concurrent clients and reports what the
+paper's workloads look like as a service: end-to-end latency quantiles,
+throughput, cache-hit rate, and the server-side queue-wait distribution
+read back from the ``/metrics`` Prometheus exposition.
+
+Each *request* is one full client interaction: submit a job, poll it to
+completion, fetch the stored result by its content address.  Seeds cycle
+through a bounded pool (``--distinct-seeds``), so a single round already
+exercises the result cache; ``--rounds 2`` replays the identical request
+set and should see a >= 90% cache-hit rate on the replay — the
+acceptance check for the content-addressed store.
+
+All timing goes through :mod:`repro.obs.clock`; quantiles come from the
+shared :func:`~repro.obs.metrics.histogram_quantile` estimator so the
+client-side numbers and the scraped server-side histograms are computed
+the same way.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from ..obs.clock import monotonic_time
+from ..obs.metrics import histogram_quantile
+from .client import ServiceClient, ServiceClientError
+
+__all__ = [
+    "parse_prometheus",
+    "prometheus_histogram",
+    "render_load_report",
+    "run_load",
+]
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse Prometheus text exposition into ``{series_name: value}``.
+
+    Series names keep their label block verbatim
+    (``engine_queue_wait_seconds_bucket{le="0.01"}``); comment lines are
+    skipped.  Good enough for scraping our own exporter — not a general
+    OpenMetrics parser.
+    """
+    series: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            series[name] = float(value)
+        except ValueError:
+            continue
+    return series
+
+
+def prometheus_histogram(
+    series: dict[str, float], name: str
+) -> tuple[list[float], list[int]]:
+    """Extract one histogram's ``(bounds, per-bucket counts)`` from a scrape.
+
+    Returns the layout :func:`~repro.obs.metrics.histogram_quantile`
+    expects: ascending finite bounds plus a trailing ``+Inf`` count.
+    Empty lists when the histogram is absent.
+    """
+    buckets: list[tuple[float, float]] = []
+    inf_count = 0.0
+    prefix = f"{name}_bucket{{"
+    for key, value in series.items():
+        if not key.startswith(prefix):
+            continue
+        labels = key[len(prefix):-1]
+        bound = None
+        for part in labels.split(","):
+            if part.startswith('le="'):
+                bound = part[4:-1]
+        if bound is None:
+            continue
+        if bound == "+Inf":
+            inf_count = value
+        else:
+            buckets.append((float(bound), value))
+    if not buckets:
+        return [], []
+    buckets.sort()
+    bounds = [b for b, _ in buckets]
+    cumulative = [c for _, c in buckets] + [inf_count]
+    counts = [int(cumulative[0])] + [
+        int(cumulative[i] - cumulative[i - 1]) for i in range(1, len(cumulative))
+    ]
+    return bounds, counts
+
+
+def _quantiles(samples: list[float]) -> dict[str, float]:
+    """Exact p50/p90/p99 of raw samples (nearest-rank)."""
+    if not samples:
+        return {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+    ordered = sorted(samples)
+    last = len(ordered) - 1
+
+    def at(q: float) -> float:
+        return ordered[min(last, int(q * len(ordered)))]
+
+    return {"p50": at(0.50), "p90": at(0.90), "p99": at(0.99)}
+
+
+def run_load(
+    url: str,
+    requests: int = 100,
+    concurrency: int = 8,
+    rounds: int = 1,
+    algorithm: str = "ckl",
+    params: dict[str, Any] | None = None,
+    distinct_seeds: int | None = None,
+    generator: str = "gbreg",
+    generator_params: dict[str, Any] | None = None,
+    api_key: str | None = None,
+    job_timeout: float = 120.0,
+) -> dict[str, Any]:
+    """Drive the service at ``url``; returns the structured load report.
+
+    One warm-up request uploads the target graph (by generator spec, so
+    the server builds it deterministically); then ``rounds`` waves of
+    ``requests`` submit/poll/fetch interactions run on ``concurrency``
+    worker threads.  Seed for request ``i`` is ``i % distinct_seeds``
+    (default: ``max(1, requests // 4)``), so identical jobs recur both
+    within and across rounds.
+    """
+    if requests < 1 or concurrency < 1 or rounds < 1:
+        raise ValueError("requests, concurrency, and rounds must all be >= 1")
+    distinct = distinct_seeds if distinct_seeds is not None else max(1, requests // 4)
+    if distinct < 1:
+        raise ValueError("distinct_seeds must be >= 1")
+    setup = ServiceClient(url, api_key=api_key)
+    graph_record = setup.generate_graph(generator, **(generator_params or {}))
+    graph_id = graph_record["id"]
+
+    round_reports: list[dict[str, Any]] = []
+    began_total = monotonic_time()
+    for round_index in range(rounds):
+        latencies: list[float] = []
+        failures: list[str] = []
+        hits = 0
+        completed = 0
+        lock = threading.Lock()
+        next_index = [0]
+
+        def _one_request(client: ServiceClient, seed: int) -> dict[str, Any]:
+            # Submit/poll/fetch are idempotent (jobs are cache identities),
+            # so a connection dropped mid-burst is safe to replay.
+            last: ServiceClientError | None = None
+            for _attempt in range(3):
+                try:
+                    jobs = client.submit(graph_id, algorithm,
+                                         params=params or None, seed=seed)
+                    status = client.wait(jobs[0]["id"], timeout=job_timeout)
+                    result = status.get("result") or {}
+                    if status["state"] != "done" or result.get("status") != "ok":
+                        raise ServiceClientError(
+                            0, f"job {jobs[0]['id']} ended {status['state']}: "
+                               f"{result.get('error')}"
+                        )
+                    fetched = client.result(status["cache_key"])
+                    if fetched.get("cut") != result.get("cut"):
+                        raise ServiceClientError(
+                            0, f"result fetch mismatch for {status['cache_key']}"
+                        )
+                    return result
+                except ServiceClientError as exc:
+                    if exc.status != 0 or "job " in exc.message:
+                        raise
+                    last = exc  # transport-level: retry
+            raise last if last is not None else ServiceClientError(0, "unreachable")
+
+        def worker() -> None:
+            nonlocal hits, completed
+            client = ServiceClient(url, api_key=api_key)
+            while True:
+                with lock:
+                    index = next_index[0]
+                    if index >= requests:
+                        return
+                    next_index[0] += 1
+                seed = index % distinct
+                began = monotonic_time()
+                try:
+                    result = _one_request(client, seed)
+                except (ServiceClientError, TimeoutError) as exc:
+                    with lock:
+                        failures.append(str(exc))
+                    continue
+                elapsed = monotonic_time() - began
+                with lock:
+                    latencies.append(elapsed)
+                    completed += 1
+                    if result.get("from_cache"):
+                        hits += 1
+
+        round_began = monotonic_time()
+        threads = [
+            threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+            for i in range(concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        round_seconds = monotonic_time() - round_began
+        round_reports.append(
+            {
+                "round": round_index + 1,
+                "requests": requests,
+                "completed": completed,
+                "failed": len(failures),
+                "errors": failures[:5],
+                "seconds": round(round_seconds, 4),
+                "throughput_rps": round(completed / round_seconds, 2)
+                if round_seconds > 0 else 0.0,
+                "cache_hits": hits,
+                "cache_hit_rate": round(hits / completed, 4) if completed else 0.0,
+                "latency": {
+                    key: round(value, 4)
+                    for key, value in _quantiles(latencies).items()
+                },
+            }
+        )
+
+    # Server-side view: queue-wait and request-latency histograms.
+    series = parse_prometheus(setup.metrics_text())
+    server: dict[str, Any] = {}
+    for metric in ("engine_queue_wait_seconds",):
+        bounds, counts = prometheus_histogram(series, metric)
+        if bounds:
+            server[metric] = {
+                "count": sum(counts),
+                "p50": round(histogram_quantile(bounds, counts, 0.50) or 0.0, 4),
+                "p99": round(histogram_quantile(bounds, counts, 0.99) or 0.0, 4),
+            }
+    for name in ("engine_cache_hits_total", "engine_cache_misses_total",
+                 "engine_jobs_total"):
+        if name in series:
+            server[name] = series[name]
+
+    return {
+        "url": url,
+        "graph": {"id": graph_id, "generator": generator,
+                  "vertices": graph_record["vertices"],
+                  "edges": graph_record["edges"]},
+        "algorithm": algorithm,
+        "requests": requests,
+        "concurrency": concurrency,
+        "rounds": rounds,
+        "distinct_seeds": distinct,
+        "total_seconds": round(monotonic_time() - began_total, 4),
+        "round_reports": round_reports,
+        "server": server,
+        "ok": all(r["failed"] == 0 for r in round_reports),
+    }
+
+
+def render_load_report(report: dict[str, Any]) -> str:
+    """ASCII summary of :func:`run_load` output (the CLI's stdout)."""
+    from ..bench import render_generic_table
+
+    rows = [
+        [
+            r["round"],
+            f"{r['completed']}/{r['requests']}",
+            r["failed"],
+            f"{r['seconds']:.2f}",
+            f"{r['throughput_rps']:.1f}",
+            f"{r['latency']['p50'] * 1000:.1f}",
+            f"{r['latency']['p99'] * 1000:.1f}",
+            f"{100 * r['cache_hit_rate']:.1f}%",
+        ]
+        for r in report["round_reports"]
+    ]
+    lines = [
+        render_generic_table(
+            ["round", "done", "fail", "wall(s)", "req/s", "p50(ms)", "p99(ms)", "hits"],
+            rows,
+            title=(
+                f"load: {report['requests']} req x {report['rounds']} round(s), "
+                f"{report['concurrency']} client(s), {report['algorithm']} on "
+                f"{report['graph']['vertices']}-node {report['graph']['generator']}"
+            ),
+        )
+    ]
+    queue = report["server"].get("engine_queue_wait_seconds")
+    if queue:
+        lines.append(
+            f"server queue wait: p50={queue['p50'] * 1000:.1f}ms "
+            f"p99={queue['p99'] * 1000:.1f}ms over {queue['count']} job(s)"
+        )
+    hits = report["server"].get("engine_cache_hits_total")
+    total = report["server"].get("engine_jobs_total")
+    if hits is not None and total:
+        lines.append(
+            f"server cache: {hits:.0f} hit(s) across {total:.0f} executed job(s)"
+        )
+    errors = [e for r in report["round_reports"] for e in r["errors"]]
+    if errors:
+        lines.append("sample errors:")
+        lines.extend(f"  {error}" for error in errors)
+    return "\n".join(lines)

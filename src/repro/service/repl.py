@@ -1,0 +1,438 @@
+"""Interactive graph session: named graphs, CRUD, queries, and submission.
+
+``repro-bisect repl`` drops into a small command language modeled on
+graph-CLI tools: a session holds *named* graphs, one of which is
+*current*; ``node``/``edge`` commands edit the current graph in place;
+``cluster`` commands expose connected components (including isolating
+one into its own named graph); ``open`` imports a CSV adjacency matrix;
+``bisect`` runs a registry algorithm locally; ``connect``/``submit``/
+``fetch`` talk to a running service over HTTP.
+
+The loop is a pure function of its input/output streams
+(:func:`run_repl`), so tests drive it with ``StringIO`` — no pty, no
+subprocess.  Errors never kill the session: every failed command prints
+one ``error: ...`` line and the loop continues.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Any, Callable, TextIO
+
+from ..engine.registry import algorithm_info, algorithm_names, build_algorithm
+from ..graphs.graph import Graph, graph_fingerprint
+from ..graphs.io import (
+    graph_to_string,
+    read_csv_adjacency,
+    read_edge_list,
+    write_edge_list,
+)
+from ..graphs.traversal import (
+    all_simple_paths,
+    connected_components,
+    shortest_path,
+)
+from ..rng import LaggedFibonacciRandom
+
+__all__ = ["ReplSession", "run_repl"]
+
+_HELP = """\
+graphs      graph list | new <name> | use <name> | rm <name> | info
+            graph load <path> <name> | save <path> | gen <model> <name> [k=v ...]
+import      open <csv-path> <name>         CSV adjacency matrix -> new graph
+nodes       node list | new <id> [weight] | get <id> | rmv <id>
+queries     node nbr <id>                  neighbors of a node
+            node p <a> <b>                 one shortest path
+            node allp <a> <b> [limit]      all simple paths
+edges       edge list | new <u> <v> [w] | get <u> <v> | rmv <u> <v>
+clusters    cluster list | get <i> | iso <i> <name>
+compute     bisect [algo] [seed=N] [k=v ...]     run locally (default: ckl)
+service     connect <url> [api-key]        attach to a repro-bisect serve
+            submit [algo] [seed=N]         upload current graph + run remotely
+            fetch <cache-key>              fetch a stored result by address
+misc        help | exit | quit
+"""
+
+
+def _parse_label(token: str) -> Any:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _parse_kv(tokens: list[str]) -> dict[str, Any]:
+    """``["seed=3", "size_factor=4"]`` -> ``{"seed": 3, "size_factor": 4}``."""
+    out: dict[str, Any] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise ValueError(f"expected key=value, got {token!r}")
+        key, _, raw = token.partition("=")
+        try:
+            value: Any = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        out[key] = value
+    return out
+
+
+class ReplSession:
+    """The session state and command table behind :func:`run_repl`."""
+
+    def __init__(self, output: TextIO) -> None:
+        self.output = output
+        self.graphs: dict[str, Graph] = {}
+        self.current: str | None = None
+        self.client: Any = None  # ServiceClient once `connect` runs
+        self.running = True
+
+    # -- helpers ------------------------------------------------------------------
+
+    def say(self, text: str) -> None:
+        self.output.write(text + "\n")
+
+    def graph(self) -> Graph:
+        if self.current is None:
+            raise ValueError("no current graph (graph new <name> or graph use <name>)")
+        return self.graphs[self.current]
+
+    def _adopt(self, name: str, graph: Graph) -> None:
+        self.graphs[name] = graph
+        self.current = name
+        self.say(
+            f"graph {name!r}: {graph.num_vertices} nodes, {graph.num_edges} edges "
+            "(current)"
+        )
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def handle(self, line: str) -> None:
+        try:
+            tokens = shlex.split(line, comments=True)
+        except ValueError as exc:
+            self.say(f"error: {exc}")
+            return
+        if not tokens:
+            return
+        command, args = tokens[0], tokens[1:]
+        table: dict[str, Callable[[list[str]], None]] = {
+            "help": self.cmd_help,
+            "exit": self.cmd_exit,
+            "quit": self.cmd_exit,
+            "graph": self.cmd_graph,
+            "open": self.cmd_open,
+            "node": self.cmd_node,
+            "edge": self.cmd_edge,
+            "cluster": self.cmd_cluster,
+            "bisect": self.cmd_bisect,
+            "connect": self.cmd_connect,
+            "submit": self.cmd_submit,
+            "fetch": self.cmd_fetch,
+        }
+        handler = table.get(command)
+        if handler is None:
+            self.say(f"error: unknown command {command!r} (try: help)")
+            return
+        try:
+            handler(args)
+        except (ValueError, KeyError, OSError) as exc:
+            message = exc.args[0] if exc.args else exc
+            self.say(f"error: {message}")
+        except Exception as exc:  # keep the session alive on anything else
+            self.say(f"error: {type(exc).__name__}: {exc}")
+
+    # -- commands -----------------------------------------------------------------
+
+    def cmd_help(self, args: list[str]) -> None:
+        self.output.write(_HELP)
+
+    def cmd_exit(self, args: list[str]) -> None:
+        self.running = False
+
+    def cmd_graph(self, args: list[str]) -> None:
+        if not args:
+            raise ValueError("usage: graph list|new|use|rm|info|load|save|gen ...")
+        action, rest = args[0], args[1:]
+        if action == "list":
+            if not self.graphs:
+                self.say("no graphs (graph new <name>)")
+                return
+            for name in sorted(self.graphs):
+                g = self.graphs[name]
+                marker = "*" if name == self.current else " "
+                self.say(
+                    f"{marker} {name}: {g.num_vertices} nodes, {g.num_edges} edges"
+                )
+        elif action == "new":
+            if len(rest) != 1:
+                raise ValueError("usage: graph new <name>")
+            self._adopt(rest[0], Graph())
+        elif action == "use":
+            if len(rest) != 1 or rest[0] not in self.graphs:
+                raise ValueError(
+                    f"usage: graph use <name>; have: {', '.join(sorted(self.graphs)) or 'none'}"
+                )
+            self.current = rest[0]
+            self.say(f"current graph: {rest[0]}")
+        elif action == "rm":
+            if len(rest) != 1 or rest[0] not in self.graphs:
+                raise ValueError("usage: graph rm <name>")
+            del self.graphs[rest[0]]
+            if self.current == rest[0]:
+                self.current = None
+            self.say(f"removed graph {rest[0]!r}")
+        elif action == "info":
+            g = self.graph()
+            self.say(f"name: {self.current}")
+            self.say(f"fingerprint: {graph_fingerprint(g)}")
+            self.say(f"nodes: {g.num_vertices}  edges: {g.num_edges}")
+            self.say(f"total edge weight: {g.total_edge_weight}")
+            self.say(f"components: {len(connected_components(g))}")
+        elif action == "load":
+            if len(rest) != 2:
+                raise ValueError("usage: graph load <edge-list-path> <name>")
+            self._adopt(rest[1], read_edge_list(rest[0]))
+        elif action == "save":
+            if len(rest) != 1:
+                raise ValueError("usage: graph save <edge-list-path>")
+            write_edge_list(self.graph(), rest[0])
+            self.say(f"wrote {self.current!r} to {rest[0]}")
+        elif action == "gen":
+            if len(rest) < 2:
+                raise ValueError("usage: graph gen <model> <name> [k=v ...]")
+            from .state import graph_from_generator_spec
+
+            self._adopt(rest[1], graph_from_generator_spec(rest[0], _parse_kv(rest[2:])))
+        else:
+            raise ValueError(f"unknown graph action {action!r}")
+
+    def cmd_open(self, args: list[str]) -> None:
+        if len(args) != 2:
+            raise ValueError("usage: open <csv-path> <name>")
+        self._adopt(args[1], read_csv_adjacency(args[0]))
+
+    def cmd_node(self, args: list[str]) -> None:
+        if not args:
+            raise ValueError("usage: node list|new|get|rmv|nbr|p|allp ...")
+        action, rest = args[0], args[1:]
+        g = self.graph()
+        if action == "list":
+            for v in g.vertices():
+                self.say(f"{v} (weight {g.vertex_weight(v)}, degree {g.degree(v)})")
+            self.say(f"{g.num_vertices} node(s)")
+        elif action == "new":
+            if len(rest) not in (1, 2):
+                raise ValueError("usage: node new <id> [weight]")
+            label = _parse_label(rest[0])
+            g.add_vertex(label, int(rest[1]) if len(rest) == 2 else 1)
+            self.say(f"added node {label!r}")
+        elif action == "get":
+            if len(rest) != 1:
+                raise ValueError("usage: node get <id>")
+            v = _parse_label(rest[0])
+            if v not in g:
+                raise KeyError(f"no node {v!r}")
+            self.say(
+                f"{v}: weight {g.vertex_weight(v)}, degree {g.degree(v)}, "
+                f"neighbors {sorted(map(str, g.neighbors(v)))}"
+            )
+        elif action == "rmv":
+            if len(rest) != 1:
+                raise ValueError("usage: node rmv <id>")
+            v = _parse_label(rest[0])
+            if v not in g:
+                raise KeyError(f"no node {v!r}")
+            g.remove_vertex(v)
+            self.say(f"removed node {v!r}")
+        elif action == "nbr":
+            if len(rest) != 1:
+                raise ValueError("usage: node nbr <id>")
+            v = _parse_label(rest[0])
+            if v not in g:
+                raise KeyError(f"no node {v!r}")
+            for u in g.neighbors(v):
+                self.say(f"{u} (edge weight {g.edge_weight(v, u)})")
+        elif action == "p":
+            if len(rest) != 2:
+                raise ValueError("usage: node p <a> <b>")
+            path = shortest_path(g, _parse_label(rest[0]), _parse_label(rest[1]))
+            if path is None:
+                self.say("no path")
+            else:
+                self.say(" -> ".join(str(v) for v in path))
+        elif action == "allp":
+            if len(rest) not in (2, 3):
+                raise ValueError("usage: node allp <a> <b> [limit]")
+            limit = int(rest[2]) if len(rest) == 3 else 64
+            paths = all_simple_paths(
+                g, _parse_label(rest[0]), _parse_label(rest[1]), limit=limit
+            )
+            for path in paths:
+                self.say(" -> ".join(str(v) for v in path))
+            self.say(f"{len(paths)} path(s)" + (f" (limit {limit})" if len(paths) == limit else ""))
+        else:
+            raise ValueError(f"unknown node action {action!r}")
+
+    def cmd_edge(self, args: list[str]) -> None:
+        if not args:
+            raise ValueError("usage: edge list|new|get|rmv ...")
+        action, rest = args[0], args[1:]
+        g = self.graph()
+        if action == "list":
+            for u, v, w in g.edges():
+                self.say(f"{u} -- {v} (weight {w})")
+            self.say(f"{g.num_edges} edge(s)")
+        elif action == "new":
+            if len(rest) not in (2, 3):
+                raise ValueError("usage: edge new <u> <v> [weight]")
+            u, v = _parse_label(rest[0]), _parse_label(rest[1])
+            g.add_edge(u, v, int(rest[2]) if len(rest) == 3 else 1)
+            self.say(f"added edge {u!r} -- {v!r}")
+        elif action == "get":
+            if len(rest) != 2:
+                raise ValueError("usage: edge get <u> <v>")
+            u, v = _parse_label(rest[0]), _parse_label(rest[1])
+            if not g.has_edge(u, v):
+                raise KeyError(f"no edge {u!r} -- {v!r}")
+            self.say(f"{u} -- {v} (weight {g.edge_weight(u, v)})")
+        elif action == "rmv":
+            if len(rest) != 2:
+                raise ValueError("usage: edge rmv <u> <v>")
+            u, v = _parse_label(rest[0]), _parse_label(rest[1])
+            if not g.has_edge(u, v):
+                raise KeyError(f"no edge {u!r} -- {v!r}")
+            g.remove_edge(u, v)
+            self.say(f"removed edge {u!r} -- {v!r}")
+        else:
+            raise ValueError(f"unknown edge action {action!r}")
+
+    def cmd_cluster(self, args: list[str]) -> None:
+        if not args:
+            raise ValueError("usage: cluster list|get|iso ...")
+        action, rest = args[0], args[1:]
+        components = connected_components(self.graph())
+        if action == "list":
+            for index, component in enumerate(components):
+                self.say(f"{index}: {len(component)} node(s)")
+            self.say(f"{len(components)} cluster(s)")
+            return
+        if len(rest) < 1:
+            raise ValueError(f"usage: cluster {action} <index> ...")
+        try:
+            index = int(rest[0])
+            component = components[index]
+        except (ValueError, IndexError):
+            raise ValueError(
+                f"cluster index must be 0..{len(components) - 1}, got {rest[0]!r}"
+            ) from None
+        if action == "get":
+            self.say(" ".join(str(v) for v in component))
+        elif action == "iso":
+            if len(rest) != 2:
+                raise ValueError("usage: cluster iso <index> <name>")
+            self._adopt(rest[1], self.graph().subgraph(component))
+        else:
+            raise ValueError(f"unknown cluster action {action!r}")
+
+    def cmd_bisect(self, args: list[str]) -> None:
+        g = self.graph()
+        algorithm = "ckl"
+        if args and "=" not in args[0]:
+            algorithm, args = args[0], args[1:]
+        params = _parse_kv(args)
+        seed = int(params.pop("seed", 0))
+        if algorithm not in algorithm_names("graph"):
+            raise ValueError(
+                f"unknown graph algorithm {algorithm!r} "
+                f"(known: {', '.join(algorithm_names('graph'))})"
+            )
+        if not algorithm_info(algorithm).supports(g):
+            raise ValueError(f"algorithm {algorithm!r} does not support this graph")
+        if g.num_vertices % 2:
+            raise ValueError(
+                f"bisection needs an even number of nodes (have {g.num_vertices})"
+            )
+        runner = build_algorithm(algorithm, **params)
+        result = runner(g, LaggedFibonacciRandom(seed))
+        bisection = getattr(result, "bisection", None)
+        self.say(
+            f"{algorithm}: cut={result.cut}"
+            + (f" imbalance={bisection.imbalance}" if bisection is not None else "")
+            + f" seed={seed}"
+        )
+
+    def cmd_connect(self, args: list[str]) -> None:
+        if len(args) not in (1, 2):
+            raise ValueError("usage: connect <url> [api-key]")
+        from .client import ServiceClient
+
+        client = ServiceClient(args[0], api_key=args[1] if len(args) == 2 else None)
+        health = client.health()
+        self.client = client
+        self.say(
+            f"connected to {args[0]} "
+            f"({health['workers']} worker(s), {health['jobs']} job(s) so far)"
+        )
+
+    def _require_client(self) -> Any:
+        if self.client is None:
+            raise ValueError("not connected (connect <url> first)")
+        return self.client
+
+    def cmd_submit(self, args: list[str]) -> None:
+        client = self._require_client()
+        g = self.graph()
+        algorithm = "ckl"
+        if args and "=" not in args[0]:
+            algorithm, args = args[0], args[1:]
+        params = _parse_kv(args)
+        seed = int(params.pop("seed", 0))
+        record = client.upload_graph(graph_to_string(g, "edges"))
+        self.say(f"uploaded graph {record['id'][:16]}... ({record['vertices']} nodes)")
+        jobs = client.submit(record["id"], algorithm, params=params or None, seed=seed)
+        job = client.wait(jobs[0]["id"])
+        result = job.get("result") or {}
+        self.say(
+            f"job {job['id']}: {job['state']} cut={result.get('cut')} "
+            f"cached={result.get('from_cache', False)} "
+            f"cache_key={job.get('cache_key')}"
+        )
+
+    def cmd_fetch(self, args: list[str]) -> None:
+        if len(args) != 1:
+            raise ValueError("usage: fetch <cache-key>")
+        payload = self._require_client().result(args[0])
+        self.say(
+            f"cut={payload.get('cut')} status={payload.get('status')} "
+            f"attempts={payload.get('attempts')} "
+            f"side0={len(payload.get('side0', []))} node(s)"
+        )
+
+
+def run_repl(
+    input_stream: TextIO,
+    output_stream: TextIO,
+    prompt: str = "repro> ",
+    show_prompt: bool | None = None,
+) -> int:
+    """Run the session loop until EOF or ``exit``; returns an exit code.
+
+    ``show_prompt=None`` auto-detects: prompts only when the input stream
+    is a TTY, so piped scripts and tests get clean output.
+    """
+    session = ReplSession(output_stream)
+    if show_prompt is None:
+        isatty = getattr(input_stream, "isatty", None)
+        show_prompt = bool(isatty()) if callable(isatty) else False
+    while session.running:
+        if show_prompt:
+            output_stream.write(prompt)
+            output_stream.flush()
+        line = input_stream.readline()
+        if not line:
+            break
+        session.handle(line)
+    return 0

@@ -1,0 +1,87 @@
+"""ResultCache maintenance: entries(), stats(), prune()."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.engine import ResultCache
+
+
+def _fill(cache: ResultCache, n: int) -> list[str]:
+    keys = []
+    for index in range(n):
+        key = f"{index:02x}" + "ab" * 31  # distinct 64-char keys, distinct shards
+        cache.put(key, {"status": "ok", "cut": index, "side0": [], "seconds": 0.1})
+        keys.append(key)
+    return keys
+
+
+def test_stats_counts_entries_and_bytes(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.stats()["entries"] == 0
+    _fill(cache, 5)
+    stats = cache.stats()
+    assert stats["entries"] == 5
+    assert stats["bytes"] > 0
+    assert stats["root"] == str(tmp_path)
+    assert len(cache) == 5
+
+
+def test_entries_skips_the_ledger_directory(tmp_path):
+    cache = ResultCache(tmp_path)
+    _fill(cache, 3)
+    ledgers = tmp_path / "ledgers"
+    ledgers.mkdir()
+    (ledgers / "run.json").write_text(json.dumps({"run_id": "x"}), encoding="utf-8")
+    (tmp_path / "stray.json").write_text("{}", encoding="utf-8")
+    assert len(list(cache.entries())) == 3
+    assert cache.stats()["entries"] == 3
+
+
+def test_prune_evicts_oldest_until_budget(tmp_path):
+    cache = ResultCache(tmp_path)
+    keys = _fill(cache, 4)
+    # Make age deterministic: entry i is i seconds older than entry 3.
+    for index, key in enumerate(keys):
+        path = cache.path_for(key)
+        os.utime(path, (1_000_000 + index, 1_000_000 + index))
+    sizes = [cache.path_for(k).stat().st_size for k in keys]
+    budget = sizes[2] + sizes[3]  # room for exactly the two newest
+    report = cache.prune(budget)
+    assert report["removed"] == 2
+    assert report["kept_bytes"] <= budget
+    assert cache.get(keys[0]) is None
+    assert cache.get(keys[1]) is None
+    assert cache.get(keys[2]) is not None
+    assert cache.get(keys[3]) is not None
+
+
+def test_prune_zero_budget_clears_everything_but_ledgers(tmp_path):
+    cache = ResultCache(tmp_path)
+    _fill(cache, 3)
+    ledgers = tmp_path / "ledgers"
+    ledgers.mkdir()
+    (ledgers / "run.json").write_text("{}", encoding="utf-8")
+    report = cache.prune(0)
+    assert report["removed"] == 3
+    assert report["kept_bytes"] == 0
+    assert (ledgers / "run.json").exists()
+
+
+def test_prune_rejects_negative_budget(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(tmp_path).prune(-1)
+
+
+def test_prune_noop_when_under_budget(tmp_path):
+    cache = ResultCache(tmp_path)
+    _fill(cache, 2)
+    report = cache.prune(10**9)
+    assert report == {
+        "removed": 0,
+        "freed_bytes": 0,
+        "kept_bytes": cache.stats()["bytes"],
+    }

@@ -1,0 +1,89 @@
+"""CSV adjacency-matrix import/export (the REPL's ``open`` command)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_csv_adjacency, write_csv_adjacency
+
+
+def read(text: str) -> Graph:
+    return read_csv_adjacency(io.StringIO(text))
+
+
+def test_full_matrix_round_trip():
+    g = Graph.from_edges([(0, 1, 2), (1, 2, 1), (0, 2, 5)])
+    buf = io.StringIO()
+    write_csv_adjacency(g, buf)
+    again = read(buf.getvalue())
+    assert again == g
+
+
+def test_header_labels_parse_as_ints_when_possible():
+    g = read(",0,1,x\n0,0,1,0\n1,1,0,1\nx,0,1,0\n")
+    assert set(g.vertices()) == {0, 1, "x"}
+    assert g.has_edge(0, 1)
+    assert g.has_edge(1, "x")
+
+
+def test_triangular_matrix_is_accepted():
+    g = read(",a,b,c\na,0,1,4\nb,,0,2\nc,,,0\n")
+    assert g.num_edges == 3
+    assert g.edge_weight("a", "c") == 4
+    assert g.edge_weight("b", "c") == 2
+
+
+def test_cell_values_become_edge_weights():
+    g = read(",a,b\na,0,7\nb,7,0\n")
+    assert g.edge_weight("a", "b") == 7
+
+
+def test_blank_and_zero_cells_mean_no_edge():
+    g = read(",a,b,c\na,0,,0\nb,,0,0\nc,0,0,0\n")
+    assert g.num_vertices == 3
+    assert g.num_edges == 0
+
+
+def test_blank_rows_are_skipped():
+    g = read(",a,b\n\na,0,1\n\nb,1,0\n")
+    assert g.num_edges == 1
+
+
+def test_symmetry_conflict_rejected():
+    with pytest.raises(ValueError, match="disagree"):
+        read(",a,b\na,0,1\nb,2,0\n")
+
+
+def test_nonzero_diagonal_rejected():
+    with pytest.raises(ValueError, match="self-loops"):
+        read(",a,b\na,1,0\nb,0,0\n")
+
+
+def test_duplicate_header_id_rejected():
+    with pytest.raises(ValueError, match="repeats"):
+        read(",a,a\na,0,1\n")
+
+
+def test_unknown_row_id_rejected():
+    with pytest.raises(ValueError, match="not in the header"):
+        read(",a,b\nz,0,1\n")
+
+
+def test_non_integer_cell_rejected():
+    with pytest.raises(ValueError, match="integer"):
+        read(",a,b\na,0,fast\nb,fast,0\n")
+
+
+def test_empty_file_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        read("")
+
+
+def test_path_round_trip(tmp_path):
+    g = Graph.from_edges([("u", "v", 3), ("v", "w", 1)])
+    target = tmp_path / "adj.csv"
+    write_csv_adjacency(g, target)
+    assert read_csv_adjacency(target) == g

@@ -1,0 +1,78 @@
+"""shortest_path and all_simple_paths (the REPL's query primitives)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import all_simple_paths, shortest_path
+
+
+@pytest.fixture
+def diamond():
+    # 0 - 1 - 3 and 0 - 2 - 3, plus the chord 1 - 2.
+    return Graph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3), (1, 2)])
+
+
+class TestShortestPath:
+    def test_finds_a_two_hop_path(self, diamond):
+        path = shortest_path(diamond, 0, 3)
+        assert path in ([0, 1, 3], [0, 2, 3])
+        assert len(path) == 3
+
+    def test_deterministic_tie_break_by_insertion_order(self, diamond):
+        # Neighbor 1 of vertex 0 was inserted before neighbor 2.
+        assert shortest_path(diamond, 0, 3) == [0, 1, 3]
+
+    def test_source_equals_target(self, diamond):
+        assert shortest_path(diamond, 2, 2) == [2]
+
+    def test_adjacent_vertices(self, diamond):
+        assert shortest_path(diamond, 0, 1) == [0, 1]
+
+    def test_unreachable_returns_none(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert shortest_path(g, 0, 3) is None
+
+    def test_missing_endpoint_raises(self, diamond):
+        with pytest.raises(KeyError):
+            shortest_path(diamond, 0, 99)
+        with pytest.raises(KeyError):
+            shortest_path(diamond, 99, 0)
+
+    def test_path_length_matches_bfs_distances(self, diamond):
+        from repro.graphs.traversal import shortest_path_lengths
+
+        dist = shortest_path_lengths(diamond, 0)
+        for target in diamond.vertices():
+            assert len(shortest_path(diamond, 0, target)) == dist[target] + 1
+
+
+class TestAllSimplePaths:
+    def test_enumerates_every_path(self, diamond):
+        paths = all_simple_paths(diamond, 0, 3)
+        assert sorted(paths) == [
+            [0, 1, 2, 3],
+            [0, 1, 3],
+            [0, 2, 1, 3],
+            [0, 2, 3],
+        ]
+
+    def test_deterministic_emission_order(self, diamond):
+        assert all_simple_paths(diamond, 0, 3) == all_simple_paths(diamond, 0, 3)
+
+    def test_limit_caps_the_count(self, diamond):
+        paths = all_simple_paths(diamond, 0, 3, limit=2)
+        assert len(paths) == 2
+        assert paths == all_simple_paths(diamond, 0, 3)[:2]
+
+    def test_no_paths_between_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3)])
+        assert all_simple_paths(g, 0, 3) == []
+
+    def test_source_equals_target(self, diamond):
+        assert all_simple_paths(diamond, 1, 1) == [[1]]
+
+    def test_missing_endpoint_raises(self, diamond):
+        with pytest.raises(KeyError):
+            all_simple_paths(diamond, 0, 99)

@@ -1,0 +1,52 @@
+"""histogram_quantile: the shared estimator for client and server latency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Histogram, histogram_quantile
+
+
+def test_empty_histogram_returns_none():
+    assert histogram_quantile([0.1, 1.0], [0, 0, 0], 0.5) is None
+
+
+def test_quantile_out_of_range_raises():
+    with pytest.raises(ValueError):
+        histogram_quantile([1.0], [1, 0], 1.5)
+    with pytest.raises(ValueError):
+        histogram_quantile([1.0], [1, 0], -0.1)
+
+
+def test_interpolates_within_the_target_bucket():
+    # 10 observations uniformly in (0, 1]: p50 lands mid-bucket.
+    assert histogram_quantile([1.0], [10, 0], 0.5) == pytest.approx(0.5)
+
+
+def test_spans_multiple_buckets():
+    buckets = [0.1, 1.0, 10.0]
+    counts = [5, 5, 0, 0]  # 5 in (0,0.1], 5 in (0.1,1]
+    assert histogram_quantile(buckets, counts, 0.5) == pytest.approx(0.1)
+    assert histogram_quantile(buckets, counts, 0.75) == pytest.approx(0.55)
+    assert histogram_quantile(buckets, counts, 1.0) == pytest.approx(1.0)
+
+
+def test_inf_bucket_clamps_to_last_finite_bound():
+    assert histogram_quantile([0.1, 1.0], [0, 0, 3], 0.99) == pytest.approx(1.0)
+
+
+def test_matches_live_histogram_snapshot():
+    h = Histogram("t_seconds", buckets=(0.01, 0.1, 1.0))
+    h.observe_many([0.005, 0.05, 0.05, 0.5])
+    snap = h.snapshot()
+    p50 = histogram_quantile(snap["buckets"], snap["counts"], 0.5)
+    assert 0.01 < p50 <= 0.1  # the true median (0.05) lives in that bucket
+
+
+def test_quantile_is_monotone_in_q():
+    buckets = [0.001, 0.01, 0.1, 1.0]
+    counts = [3, 7, 12, 2, 1]
+    values = [
+        histogram_quantile(buckets, counts, q / 20) for q in range(21)
+    ]
+    assert values == sorted(values)

@@ -1,0 +1,69 @@
+"""Load generator: Prometheus parsing, quantiles, and a real small run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ResultCache
+from repro.service import ServiceThread, render_load_report, run_load
+from repro.service.loadgen import parse_prometheus, prometheus_histogram
+
+PROM_TEXT = """\
+# TYPE engine_queue_wait_seconds histogram
+engine_queue_wait_seconds_bucket{le="0.001"} 2
+engine_queue_wait_seconds_bucket{le="0.01"} 5
+engine_queue_wait_seconds_bucket{le="+Inf"} 6
+engine_queue_wait_seconds_sum 0.123
+engine_queue_wait_seconds_count 6
+engine_cache_hits_total 7
+"""
+
+
+def test_parse_prometheus_series():
+    series = parse_prometheus(PROM_TEXT)
+    assert series["engine_cache_hits_total"] == 7
+    assert series['engine_queue_wait_seconds_bucket{le="0.01"}'] == 5
+    assert series["engine_queue_wait_seconds_count"] == 6
+
+
+def test_prometheus_histogram_decumulates():
+    series = parse_prometheus(PROM_TEXT)
+    bounds, counts = prometheus_histogram(series, "engine_queue_wait_seconds")
+    assert bounds == [0.001, 0.01]
+    assert counts == [2, 3, 1]  # de-cumulated, +Inf last
+
+
+def test_prometheus_histogram_absent_metric():
+    assert prometheus_histogram({}, "nope") == ([], [])
+
+
+def test_load_run_against_live_service(tmp_path):
+    """The acceptance shape in miniature: zero failures, round-2 ~all hits."""
+    with ServiceThread(workers=2, cache=ResultCache(tmp_path / "cache")) as svc:
+        report = run_load(
+            svc.url,
+            requests=12,
+            concurrency=4,
+            rounds=2,
+            algorithm="kl",
+            distinct_seeds=3,
+            generator_params={"vertices": 60, "width": 2, "degree": 3, "seed": 0},
+        )
+    assert report["ok"] is True
+    assert [r["failed"] for r in report["round_reports"]] == [0, 0]
+    assert report["round_reports"][0]["completed"] == 12
+    # Round 2 replays an identical request set: >= 90% served from cache.
+    assert report["round_reports"][1]["cache_hit_rate"] >= 0.9
+    # Server-side histogram was scraped and summarized.
+    queue = report["server"].get("engine_queue_wait_seconds")
+    assert queue is not None and queue["count"] >= 3
+    text = render_load_report(report)
+    assert "req/s" in text
+    assert "server queue wait" in text
+
+
+def test_load_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        run_load("http://127.0.0.1:1", requests=0)
+    with pytest.raises(ValueError):
+        run_load("http://127.0.0.1:1", concurrency=0)

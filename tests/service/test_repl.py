@@ -1,0 +1,121 @@
+"""REPL sessions driven through StringIO: CRUD, queries, remote submit."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.engine import ResultCache
+from repro.service import ServiceThread, run_repl
+
+
+def repl(script: str) -> str:
+    out = io.StringIO()
+    assert run_repl(io.StringIO(script), out) == 0
+    return out.getvalue()
+
+
+def test_build_graph_by_hand_and_query():
+    out = repl(
+        """
+        graph new g
+        node new a
+        node new b
+        node new c
+        edge new a b
+        edge new b c 3
+        node nbr b
+        node p a c
+        edge get b c
+        graph info
+        """
+    )
+    assert "a -> b -> c" in out
+    assert "b -- c (weight 3)" in out
+    assert "nodes: 3  edges: 2" in out
+
+
+def test_csv_adjacency_import_and_paths(tmp_path):
+    csv_path = tmp_path / "adj.csv"
+    csv_path.write_text(
+        ",a,b,c,d\na,0,1,0,1\nb,1,0,1,0\nc,0,1,0,1\nd,1,0,1,0\n", encoding="utf-8"
+    )
+    out = repl(
+        f"""
+        open {csv_path} ring
+        node nbr a
+        node p a c
+        node allp a c
+        bisect kl seed=1
+        """
+    )
+    assert "graph 'ring': 4 nodes, 4 edges" in out
+    assert "a -> b -> c" in out
+    assert "2 path(s)" in out
+    assert "kl: cut=2" in out
+
+
+def test_cluster_isolation():
+    out = repl(
+        """
+        graph new g
+        edge new 0 1
+        edge new 2 3
+        cluster list
+        cluster get 1
+        cluster iso 1 sub
+        graph list
+        node list
+        """
+    )
+    assert "2 cluster(s)" in out
+    assert "2 3" in out
+    assert "graph 'sub': 2 nodes, 1 edges" in out
+    assert "* sub" in out
+
+
+def test_errors_do_not_kill_the_session():
+    out = repl(
+        """
+        node list
+        bogus
+        graph new g
+        node rmv zz
+        edge new a
+        bisect nope
+        node p a b
+        graph info
+        """
+    )
+    # Every failing line produced an error, and the session kept going.
+    assert out.count("error:") == 6
+    assert "nodes: 0  edges: 0" in out
+
+
+def test_exit_stops_the_loop():
+    out = repl("graph new g\nexit\ngraph new never\n")
+    assert "never" not in out
+
+
+def test_remote_submit_and_fetch(tmp_path):
+    with ServiceThread(workers=2, cache=ResultCache(tmp_path / "cache")) as svc:
+        out = repl(
+            f"""
+            graph gen gbreg g vertices=30 width=3 degree=3 seed=0
+            connect {svc.url}
+            submit kl seed=4
+            """
+        )
+        assert f"connected to {svc.url}" in out
+        assert "uploaded graph" in out
+        assert "cut=" in out
+        # The printed cache key resolves over HTTP from a fresh session.
+        key = out.split("cache_key=")[1].split()[0]
+        out2 = repl(f"connect {svc.url}\nfetch {key}\n")
+        assert "status=ok" in out2
+
+
+def test_connect_failure_is_an_error_line():
+    out = repl("connect http://127.0.0.1:9/ \n")
+    assert "error:" in out
