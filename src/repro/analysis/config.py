@@ -47,8 +47,11 @@ DEFAULT_SCOPES: Mapping[str, tuple[str, ...]] = {
         "partition/annealing/sa.py",
         "graphs/csr.py",
     ),
-    # Seeded decision paths: partitioners and graph generators.
-    "R005": ("partition/", "graphs/generators/"),
+    # Seeded decision paths: partitioners, graph generators, and the
+    # ensemble study sweeps (whose seed protocol is a reproducibility
+    # contract — a stray unseeded draw would silently fork local and
+    # remote aggregates).
+    "R005": ("partition/", "graphs/generators/", "study/"),
     # Gain arithmetic lives in the partitioners.
     "R006": ("partition/",),
     # The robustness boundaries: the execution engine and the HTTP

@@ -36,9 +36,12 @@ from ..graphs.generators import (
 from ..graphs.graph import Graph
 
 __all__ = [
+    "STUDY_GBREG_DEGREES",
+    "STUDY_GNP_DEGREES",
     "Scale",
     "WorkloadCase",
     "current_scale",
+    "parity_fixed_width",
     "standard_algorithms",
     "standard_algorithm_specs",
     "netlist_algorithms",
@@ -160,6 +163,28 @@ def _parity_fix(two_n: int, d: int, b: int) -> int:
     """Round ``b`` up to the nearest ``Gbreg``-feasible width."""
     n = two_n // 2
     return b if (n * d - b) % 2 == 0 else b + 1
+
+
+def parity_fixed_width(two_n: int, degree: int, width: int) -> int:
+    """Public :func:`_parity_fix`: the nearest feasible ``Gbreg`` width.
+
+    The ensemble ``study`` sweeps build their own cells (one fixed graph,
+    hundreds of heuristic seeds) rather than :class:`WorkloadCase` lists,
+    but must respect the same stub-parity constraint the table sweeps do.
+    """
+    return _parity_fix(two_n, degree, width)
+
+
+#: Degree sweep for the planted-vs-random phase study on ``Gbreg(2n, b, d)``:
+#: at low degree the planted width-``b`` cut is not optimal (random-like
+#: phase, heuristics beat it); as the degree grows every other cut inflates
+#: until the planted bisection is the clear optimum (planted phase).
+STUDY_GBREG_DEGREES = (2, 3, 4, 5, 6)
+
+#: Degree sweep for the ``Gnp`` phase study, bracketing the critical mean
+#: degree ``2 ln 2 ≈ 1.386`` below which the bisection width vanishes
+#: (Percus et al., *The Peculiar Phase Structure of Random Graph Bisection*).
+STUDY_GNP_DEGREES = (0.8, 1.1, 1.4, 1.7, 2.2, 3.0)
 
 
 def gbreg_cases(scale: Scale, degree: int) -> list[WorkloadCase]:

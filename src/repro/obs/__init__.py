@@ -20,6 +20,13 @@ run never changes it.*  Instrumentation reads algorithm state; it never
 draws from the RNG, never reorders iteration, never rounds a decision.
 """
 
+from .accumulator import (
+    P2Quantile,
+    StreamingStats,
+    TailFit,
+    best_of_k_extrapolation,
+    fit_lower_tail,
+)
 from .clock import monotonic_time, wall_time
 from .ledger import (
     LEDGER_SCHEMA,
@@ -83,10 +90,15 @@ __all__ = [
     "LEDGER_SCHEMA",
     "MetricsRegistry",
     "NOOP",
+    "P2Quantile",
     "REGISTRY",
     "RunContext",
     "Span",
+    "StreamingStats",
+    "TailFit",
+    "best_of_k_extrapolation",
     "build_ledger",
+    "fit_lower_tail",
     "counter",
     "current_run",
     "current_run_id",

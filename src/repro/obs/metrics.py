@@ -196,7 +196,9 @@ def histogram_quantile(
     as :meth:`Histogram.snapshot` lays them out.  The estimate interpolates
     linearly inside the target bucket (Prometheus ``histogram_quantile``
     convention); observations in the ``+Inf`` bucket clamp to the largest
-    finite bound.  Returns ``None`` for an empty histogram.
+    finite bound.  Returns ``None`` for an empty histogram, and also when
+    every observation sits in the ``+Inf`` bucket of a snapshot with no
+    finite bounds — there is no value to clamp to.
     """
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"quantile must be in [0, 1], got {q}")
@@ -210,12 +212,12 @@ def histogram_quantile(
         cumulative += bucket_count
         if cumulative >= rank and bucket_count:
             if index >= len(buckets):  # +Inf bucket: clamp to last bound
-                return float(buckets[-1]) if buckets else 0.0
+                return float(buckets[-1]) if buckets else None
             lower = float(buckets[index - 1]) if index else 0.0
             upper = float(buckets[index])
             fraction = (rank - previous) / bucket_count
             return lower + (upper - lower) * fraction
-    return float(buckets[-1]) if buckets else 0.0
+    return float(buckets[-1]) if buckets else None
 
 
 def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, str], ...]:

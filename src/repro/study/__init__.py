@@ -1,0 +1,30 @@
+"""Ensemble-scale studies: cut-size distributions over seed sweeps.
+
+The ``repro-bisect study`` subsystem.  A study runs a grid of
+(graph family × size × degree × width) × heuristic cells, each over
+hundreds of seeds, through the engine batch path (or a live service),
+folds every cell into a streaming distribution summary, locates phase
+boundaries over degree sweeps, and records everything in a
+content-addressed study ledger.
+"""
+
+from .dashboard import render_study
+from .grid import PRESET_NAMES, StudyCell, StudyGrid, preset_grid
+from .ledger import build_study_ledger
+from .phase import locate_crossing, phase_report
+from .runner import StudyOutcome, cell_seeds, run_study_local, run_study_remote
+
+__all__ = [
+    "PRESET_NAMES",
+    "StudyCell",
+    "StudyGrid",
+    "StudyOutcome",
+    "build_study_ledger",
+    "cell_seeds",
+    "locate_crossing",
+    "phase_report",
+    "preset_grid",
+    "render_study",
+    "run_study_local",
+    "run_study_remote",
+]

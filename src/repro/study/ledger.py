@@ -1,0 +1,29 @@
+"""Study ledgers: the standard run-ledger envelope plus a ``study`` section.
+
+A study ledger is an ordinary observability ledger (run id, argv, env,
+counter/histogram deltas, spans — see :mod:`repro.obs.ledger`) with
+``kind`` set to ``"study"`` and the full per-cell aggregation attached
+under ``"study"``.  It validates against the same ``obs/schema.json``
+and lands content-addressed in the same ledger directory, so the
+``repro-bisect stats`` tooling and the dashboard pick studies up like
+any other run.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..obs.ledger import build_ledger
+from .runner import StudyOutcome
+
+__all__ = ["build_study_ledger"]
+
+
+def build_study_ledger(
+    run, outcome: StudyOutcome, argv: list[str] | None = None
+) -> dict[str, Any]:
+    """A schema-valid study ledger for a finished run context + outcome."""
+    ledger = build_ledger(run, argv=argv)
+    ledger["kind"] = "study"
+    ledger["study"] = outcome.to_payload()
+    return ledger

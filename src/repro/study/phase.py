@@ -1,0 +1,118 @@
+"""Phase-boundary location over study degree sweeps.
+
+Percus et al. (*The Peculiar Phase Structure of Random Graph Bisection*)
+show random-graph bisection has a sharp phase boundary in mean degree:
+below the critical point the minimum bisection width is essentially
+zero, above it the width grows extensively.  For planted models the
+analogue is the planted-vs-random transition: at low degree heuristics
+find cuts *smaller* than the planted width (the planted bisection is
+hidden in noise), at high degree the planted cut is the clear optimum.
+
+Both are located the same way here: take a per-degree scalar off each
+cell's cut-size distribution, then find where it crosses a threshold by
+linear interpolation between the two bracketing sweep points.
+
+* ``Gbreg(2n, b, d)`` — metric is ``q50 / b`` (median heuristic cut over
+  the planted width).  Random-like phase: ratio well below 1; planted
+  phase: ratio at (or above) 1.  Boundary: first upward crossing of
+  :data:`GBREG_RATIO_THRESHOLD`.
+* ``Gnp(2n, p)`` — metric is the mean cut *per vertex* (the heuristic
+  proxy for the subextensive-to-extensive transition in the optimal
+  width).  Boundary: first upward crossing of
+  :data:`GNP_CUT_THRESHOLD`, to be compared against the theoretical
+  critical mean degree ``2 ln 2``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "GBREG_RATIO_THRESHOLD",
+    "GNP_CRITICAL_DEGREE",
+    "GNP_CUT_THRESHOLD",
+    "locate_crossing",
+    "phase_report",
+]
+
+#: Median-cut / planted-width ratio marking entry into the planted phase.
+GBREG_RATIO_THRESHOLD = 0.99
+
+#: Mean cut per vertex above which a ``Gnp`` ensemble no longer bisects
+#: near-freely (size-normalized so the locator is scale-independent).
+GNP_CUT_THRESHOLD = 0.01
+
+#: Theoretical ``Gnp`` critical mean degree (Percus et al.): ``2 ln 2``.
+GNP_CRITICAL_DEGREE = 2.0 * math.log(2.0)
+
+
+def locate_crossing(
+    points: list[tuple[float, float]], threshold: float
+) -> float | None:
+    """The x where sorted ``(x, y)`` points first cross up through ``threshold``.
+
+    Linear interpolation between the bracketing points; a point exactly
+    at the threshold counts as the crossing.  Returns ``None`` when the
+    curve never reaches the threshold from below (fewer than two points,
+    already above it at the start, or always below).
+    """
+    if len(points) < 2:
+        return None
+    points = sorted(points)
+    if points[0][1] >= threshold:
+        return None
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        if y1 >= threshold:
+            if y1 == y0:
+                return x1
+            return x0 + (threshold - y0) * (x1 - x0) / (y1 - y0)
+    return None
+
+
+def _sweep_entry(
+    algorithm: str,
+    points: list[tuple[float, float]],
+    threshold: float,
+    metric: str,
+) -> dict[str, Any]:
+    points = sorted(points)
+    return {
+        "algorithm": algorithm,
+        "metric": metric,
+        "threshold": threshold,
+        "points": [[x, round(y, 9)] for x, y in points],
+        "boundary": locate_crossing(points, threshold),
+    }
+
+
+def phase_report(cells, stats) -> dict[str, Any]:
+    """Per-family, per-algorithm boundary locations for a finished study.
+
+    ``cells`` and ``stats`` are the grid's cells and their matching
+    :class:`~repro.obs.accumulator.StreamingStats`.  Sweeps with a single
+    degree point report ``boundary: None`` (nothing to interpolate).
+    """
+    gbreg: dict[str, list[tuple[float, float]]] = {}
+    gnp: dict[str, list[tuple[float, float]]] = {}
+    for cell, acc in zip(cells, stats):
+        if acc.count == 0:
+            continue
+        name = cell.algorithm.describe()
+        if cell.family == "gbreg" and cell.width:
+            gbreg.setdefault(name, []).append(
+                (cell.degree, acc.quantile(0.5) / cell.width)
+            )
+        elif cell.family == "gnp":
+            gnp.setdefault(name, []).append((cell.degree, acc.mean / cell.two_n))
+    return {
+        "gbreg": [
+            _sweep_entry(name, points, GBREG_RATIO_THRESHOLD, "q50/planted_width")
+            for name, points in sorted(gbreg.items())
+        ],
+        "gnp": [
+            _sweep_entry(name, points, GNP_CUT_THRESHOLD, "mean_cut_per_vertex")
+            for name, points in sorted(gnp.items())
+        ],
+        "gnp_critical_degree": round(GNP_CRITICAL_DEGREE, 9),
+    }

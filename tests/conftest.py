@@ -10,15 +10,17 @@ from repro.rng import LaggedFibonacciRandom
 
 
 def pytest_collection_modifyitems(config, items):
-    """Every test not explicitly marked slow/property is tier 1.
+    """Every test not explicitly marked slow/property/statistical is tier 1.
 
     The explicit ``tier1`` marker therefore exists for selection symmetry
     (``-m tier1`` runs exactly what the default ``-m 'not slow and not
-    property'`` run does), not because anyone has to remember to apply it.
+    property and not statistical'`` run does), not because anyone has to
+    remember to apply it.
     """
     for item in items:
         if not any(
-            item.get_closest_marker(name) for name in ("tier1", "slow", "property")
+            item.get_closest_marker(name)
+            for name in ("tier1", "slow", "property", "statistical")
         ):
             item.add_marker(pytest.mark.tier1)
 

@@ -1,0 +1,234 @@
+"""Property/metamorphic suite for the streaming stats accumulator.
+
+The study subsystem leans on four guarantees, each pinned here:
+merged-shard aggregation equals single-stream aggregation, the Welford
+moments match an exact two-pass computation, P²-regime quantiles stay
+within their known error envelope, and the final summary is invariant
+under permutation of the input stream.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.obs import (
+    P2Quantile,
+    StreamingStats,
+    best_of_k_extrapolation,
+    fit_lower_tail,
+)
+from repro.rng import LaggedFibonacciRandom
+
+
+def _integer_corpus(seed: int, count: int = 500) -> list[int]:
+    """A seeded cut-size-like corpus: small non-negative integers."""
+    rng = LaggedFibonacciRandom(seed)
+    return [rng.randrange(120) for _ in range(count)]
+
+
+def _float_corpus(seed: int, count: int = 2000) -> list[float]:
+    rng = LaggedFibonacciRandom(seed)
+    return [rng.random() * 40.0 + 2.0 for _ in range(count)]
+
+
+def _two_pass_moments(values) -> tuple[float, float]:
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return mean, variance
+
+
+# -- Welford vs exact two-pass moments ---------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_welford_matches_two_pass_on_integers(seed):
+    values = _integer_corpus(seed)
+    stats = StreamingStats()
+    stats.add_many(values)
+    mean, variance = _two_pass_moments(values)
+    assert stats.welford_mean == pytest.approx(mean, rel=1e-12)
+    assert stats.welford_variance == pytest.approx(variance, rel=1e-9)
+    # The exact-table readout agrees with the running moments.
+    assert stats.mean == pytest.approx(mean, rel=1e-12)
+    assert stats.variance == pytest.approx(variance, rel=1e-9)
+
+
+def test_welford_matches_two_pass_on_floats():
+    values = _float_corpus(3)
+    stats = StreamingStats()
+    stats.add_many(values)  # floats force the P² regime
+    assert not stats.exact
+    mean, variance = _two_pass_moments(values)
+    assert stats.mean == pytest.approx(mean, rel=1e-12)
+    assert stats.variance == pytest.approx(variance, rel=1e-9)
+    assert stats.std == pytest.approx(math.sqrt(variance), rel=1e-9)
+
+
+# -- merged shards vs single stream ------------------------------------------------
+
+
+@pytest.mark.parametrize("shards", [2, 3, 7])
+def test_merged_shards_equal_single_stream_exactly(shards):
+    values = _integer_corpus(11, count=700)
+    single = StreamingStats()
+    single.add_many(values)
+
+    merged = StreamingStats()
+    size = len(values) // shards
+    for index in range(shards):
+        shard = StreamingStats()
+        hi = len(values) if index == shards - 1 else (index + 1) * size
+        shard.add_many(values[index * size : hi])
+        merged.merge(shard)
+
+    assert merged.summary() == single.summary()
+    assert merged.value_counts() == single.value_counts()
+
+
+def test_merge_moments_match_two_pass_after_spill():
+    values = _float_corpus(5, count=600)
+    left, right = StreamingStats(), StreamingStats()
+    left.add_many(values[:250])
+    right.add_many(values[250:])
+    left.merge(right)
+    mean, variance = _two_pass_moments(values)
+    # Chan's update keeps count/mean/variance exact even in the
+    # (approximate-quantile) P² regime.
+    assert left.count == len(values)
+    assert left.mean == pytest.approx(mean, rel=1e-12)
+    assert left.variance == pytest.approx(variance, rel=1e-9)
+
+
+def test_merge_into_empty_and_with_empty():
+    values = _integer_corpus(2, count=100)
+    loaded = StreamingStats()
+    loaded.add_many(values)
+    empty = StreamingStats()
+    empty.merge(loaded)
+    assert empty.summary() == loaded.summary()
+    before = loaded.summary()
+    loaded.merge(StreamingStats())
+    assert loaded.summary() == before
+
+
+# -- permutation invariance --------------------------------------------------------
+
+
+def test_summary_is_permutation_invariant_on_exact_path():
+    values = _integer_corpus(13, count=400)
+    forward = StreamingStats()
+    forward.add_many(values)
+    shuffled = list(values)
+    random.Random(99).shuffle(shuffled)
+    other = StreamingStats()
+    other.add_many(shuffled)
+    assert other.summary() == forward.summary()
+    assert other.quantile(0.5) == forward.quantile(0.5)
+
+
+# -- quantile accuracy -------------------------------------------------------------
+
+
+def test_exact_quantiles_match_sorted_interpolation():
+    values = _integer_corpus(17, count=301)
+    stats = StreamingStats()
+    stats.add_many(values)
+    ordered = sorted(values)
+    for q in (0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0):
+        rank = q * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        expected = ordered[low] + (rank - low) * (ordered[high] - ordered[low])
+        assert stats.quantile(q) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("q", [0.05, 0.25, 0.5, 0.75, 0.95])
+def test_p2_quantiles_within_error_bounds_on_uniform(q):
+    # Uniform(0, 1): P² markers converge near the true quantile; the
+    # classical empirical envelope for n=5000 is well under ±0.03.
+    rng = LaggedFibonacciRandom(23)
+    estimator = P2Quantile(q)
+    for _ in range(5000):
+        estimator.observe(rng.random())
+    assert estimator.estimate() == pytest.approx(q, abs=0.03)
+
+
+def test_streaming_stats_p2_regime_within_bounds():
+    values = _float_corpus(29, count=5000)
+    stats = StreamingStats()
+    stats.add_many(values)
+    assert not stats.exact
+    ordered = sorted(values)
+    for q in (0.25, 0.5, 0.75):
+        true = ordered[int(q * (len(ordered) - 1))]
+        spread = ordered[-1] - ordered[0]
+        assert abs(stats.quantile(q) - true) <= 0.05 * spread
+
+
+def test_spill_on_table_overflow_keeps_moments():
+    stats = StreamingStats(max_exact_values=16)
+    values = list(range(64))
+    stats.add_many(values)
+    assert not stats.exact
+    assert stats.value_counts() is None
+    mean, variance = _two_pass_moments(values)
+    assert stats.mean == pytest.approx(mean)
+    assert stats.variance == pytest.approx(variance)
+    assert stats.min == 0 and stats.max == 63
+
+
+# -- boundaries and validation -----------------------------------------------------
+
+
+def test_empty_summary_and_quantile():
+    stats = StreamingStats()
+    assert stats.summary() == {"count": 0}
+    assert stats.quantile(0.5) is None
+    assert stats.mean is None
+    assert stats.variance is None
+
+
+def test_quantile_argument_validation():
+    stats = StreamingStats()
+    stats.add(1)
+    with pytest.raises(ValueError):
+        stats.quantile(1.5)
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        StreamingStats(max_exact_values=0)
+
+
+# -- tail fit and best-of-k --------------------------------------------------------
+
+
+def test_tail_fit_recovers_weibull_shape():
+    # Draw from an exact Weibull(shape=2, scale=30, location=9) rounded to
+    # integers; the probability-plot regression should land near shape 2.
+    rng = LaggedFibonacciRandom(31)
+    stats = StreamingStats()
+    for _ in range(4000):
+        stats.add(10 + int(30.0 * (-math.log1p(-rng.random())) ** 0.5))
+    fit = fit_lower_tail(stats)
+    assert fit is not None
+    assert fit.location == stats.min - 1.0
+    assert 1.3 <= fit.shape <= 2.7
+    assert fit.r_squared > 0.9
+    best = best_of_k_extrapolation(fit)
+    # Deeper ensembles predict better (lower) best cuts, bounded below by
+    # the location anchor.
+    assert best["k=1000"] <= best["k=100"] <= best["k=10"]
+    assert best["k=1000"] >= fit.location
+
+
+def test_tail_fit_declines_degenerate_inputs():
+    spilled = StreamingStats(max_exact_values=2)
+    spilled.add_many([1, 2, 3])
+    assert fit_lower_tail(spilled) is None
+
+    narrow = StreamingStats()
+    narrow.add_many([5, 5, 5, 5])
+    assert fit_lower_tail(narrow) is None

@@ -35,6 +35,31 @@ def test_inf_bucket_clamps_to_last_finite_bound():
     assert histogram_quantile([0.1, 1.0], [0, 0, 3], 0.99) == pytest.approx(1.0)
 
 
+def test_all_mass_in_inf_bucket_with_no_finite_bounds_returns_none():
+    # A degenerate snapshot (no finite buckets at all) carries zero value
+    # information; fabricating 0.0 here once skewed inverted latencies.
+    assert histogram_quantile([], [5], 0.5) is None
+    assert histogram_quantile([], [5], 1.0) is None
+
+
+def test_empty_snapshot_with_no_buckets_returns_none():
+    assert histogram_quantile([], [0], 0.5) is None
+    assert histogram_quantile([], [], 0.5) is None
+
+
+def test_q0_and_q1_boundaries():
+    buckets = [0.1, 1.0, 10.0]
+    counts = [4, 6, 2, 0]
+    # q=0 anchors at the lower edge of the first occupied bucket; q=1 at
+    # the upper bound of the last occupied one.
+    assert histogram_quantile(buckets, counts, 0.0) == pytest.approx(0.0)
+    assert histogram_quantile(buckets, counts, 1.0) == pytest.approx(10.0)
+
+
+def test_q1_with_inf_mass_clamps():
+    assert histogram_quantile([2.0], [1, 3], 1.0) == pytest.approx(2.0)
+
+
 def test_matches_live_histogram_snapshot():
     h = Histogram("t_seconds", buckets=(0.01, 0.1, 1.0))
     h.observe_many([0.005, 0.05, 0.05, 0.5])

@@ -1,0 +1,99 @@
+"""Phase-boundary location: crossing interpolation and the study report."""
+
+from __future__ import annotations
+
+import math
+
+from repro.study.phase import (
+    GNP_CRITICAL_DEGREE,
+    locate_crossing,
+    phase_report,
+)
+
+
+def test_crossing_interpolates_between_bracketing_points():
+    points = [(1.0, 0.2), (2.0, 0.4), (3.0, 0.8)]
+    # Crosses 0.6 halfway between x=2 and x=3.
+    assert locate_crossing(points, 0.6) == 2.5
+
+
+def test_crossing_handles_unsorted_input():
+    import pytest
+
+    assert locate_crossing([(3.0, 0.8), (1.0, 0.2)], 0.5) == pytest.approx(2.0)
+
+
+def test_point_exactly_at_threshold_counts():
+    assert locate_crossing([(1.0, 0.1), (2.0, 0.5)], 0.5) == 2.0
+
+
+def test_no_crossing_cases():
+    assert locate_crossing([(1.0, 0.1)], 0.5) is None  # single point
+    assert locate_crossing([(1.0, 0.9), (2.0, 1.1)], 0.5) is None  # starts above
+    assert locate_crossing([(1.0, 0.1), (2.0, 0.2)], 0.5) is None  # never reaches
+
+
+def test_flat_segment_at_threshold_reports_its_right_edge():
+    assert locate_crossing([(1.0, 0.2), (2.0, 0.5), (3.0, 0.5)], 0.5) == 2.0
+
+
+def test_gnp_critical_degree_is_2_ln_2():
+    assert GNP_CRITICAL_DEGREE == 2.0 * math.log(2.0)
+
+
+class _FakeStats:
+    def __init__(self, values):
+        self._values = sorted(values)
+        self.count = len(values)
+
+    @property
+    def mean(self):
+        return sum(self._values) / self.count
+
+    def quantile(self, q):
+        return self._values[int(q * (self.count - 1))]
+
+
+class _FakeCell:
+    def __init__(self, family, degree, width, name="kl", two_n=100):
+        self.family = family
+        self.degree = degree
+        self.width = width
+        self.two_n = two_n
+
+        class _Spec:
+            @staticmethod
+            def describe():
+                return name
+
+        self.algorithm = _Spec()
+
+
+def test_phase_report_locates_gbreg_boundary():
+    # Median cut rises through the planted width b=10 between d=3 and d=4.
+    cells = [
+        _FakeCell("gbreg", 2.0, 10),
+        _FakeCell("gbreg", 3.0, 10),
+        _FakeCell("gbreg", 4.0, 10),
+    ]
+    stats = [_FakeStats([4, 5, 6]), _FakeStats([8, 9, 9]), _FakeStats([12, 13, 14])]
+    report = phase_report(cells, stats)
+    (sweep,) = report["gbreg"]
+    assert sweep["algorithm"] == "kl"
+    assert sweep["metric"] == "q50/planted_width"
+    assert 3.0 < sweep["boundary"] < 4.0
+    assert report["gnp"] == []
+
+
+def test_phase_report_skips_empty_cells_and_single_points():
+    cells = [_FakeCell("gnp", 1.0, None), _FakeCell("gnp", 2.0, None)]
+    stats = [_FakeStats([0, 0, 1]), _FakeStats([3, 4, 5])]
+    report = phase_report(cells, stats)
+    (sweep,) = report["gnp"]
+    assert sweep["metric"] == "mean_cut_per_vertex"
+    assert sweep["boundary"] is not None
+
+    empty = _FakeStats([1])
+    empty.count = 0
+    report = phase_report([cells[0]], [empty])
+    assert report["gnp"] == []

@@ -1,0 +1,69 @@
+"""The `repro-bisect study` command end to end: output, ledger, exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.obs import validate_ledger
+
+
+def _study(*extra: str) -> list[str]:
+    return ["study", "--preset", "quick", "--two-n", "40", "--seeds", "5", *extra]
+
+
+def test_study_prints_dashboard(capsys):
+    assert main(_study()) == 0
+    out = capsys.readouterr().out
+    assert "study 'quick'" in out
+    assert "phase boundaries" in out
+    assert "failed=0" in out
+
+
+def test_study_writes_schema_valid_study_ledger(capsys, tmp_path):
+    target = tmp_path / "study.json"
+    assert main(_study("--ledger", str(target))) == 0
+    ledger = json.loads(target.read_text())
+    assert ledger["kind"] == "study"
+    assert validate_ledger(ledger) == []
+    study = ledger["study"]
+    assert study["preset"] == "quick"
+    assert study["mode"] == "local"
+    assert study["failed_requests"] == 0
+    assert len(study["cells"]) == 2
+    assert all(cell["stats"]["count"] == 5 for cell in study["cells"])
+    assert "gnp_critical_degree" in study["phase"]
+    assert "wrote study ledger" in capsys.readouterr().out
+
+
+def test_study_ledger_auto_lands_in_cache_ledger_dir(capsys, monkeypatch, tmp_path):
+    # The autouse fixture points REPRO_CACHE_DIR at tmp_path already.
+    assert main(_study("--ledger", "auto")) == 0
+    out = capsys.readouterr().out
+    (line,) = [l for l in out.splitlines() if l.startswith("wrote study ledger")]
+    path = Path(line.split()[-1])
+    assert path.exists()
+    assert path.parent.name == "ledgers"
+    assert validate_ledger(json.loads(path.read_text())) == []
+
+
+def test_study_is_deterministic_across_invocations(capsys, tmp_path):
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    assert main(_study("--ledger", str(first))) == 0
+    assert main(_study("--ledger", str(second))) == 0
+    capsys.readouterr()
+    a = json.loads(first.read_text())["study"]
+    b = json.loads(second.read_text())["study"]
+    # Run counters differ (the second run hits the cache); the
+    # aggregation itself must not.
+    assert a["cells"] == b["cells"]
+    assert a["phase"] == b["phase"]
+
+
+def test_study_remote_against_unreachable_service_fails(capsys):
+    code = main(_study("--remote", "http://127.0.0.1:9", "--clients", "2",
+                       "--job-timeout", "2"))
+    assert code == 1
+    assert "service unreachable" in capsys.readouterr().err

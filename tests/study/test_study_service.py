@@ -1,0 +1,67 @@
+"""Study-over-service concurrency: the standing heavy-traffic stress test.
+
+One study drives a live :class:`ServiceThread` with 16 client threads.
+The assertions pin the three things heavy traffic must not break:
+per-identity single execution (the engine's per-cache-key lock), intact
+telemetry JSONL under concurrent writers (no torn lines), and aggregates
+identical to a serial local run (the accumulator's permutation
+invariance doing its job).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine import ResultCache, Telemetry
+from repro.service import ServiceThread
+from repro.study import preset_grid, run_study_local, run_study_remote
+
+
+def test_sixteen_client_study_matches_serial_run(tmp_path):
+    grid = preset_grid("quick", two_n=40, seeds_per_cell=12)
+    serial = run_study_local(grid, master_seed=5)
+
+    jsonl = tmp_path / "telemetry.jsonl"
+    telemetry = Telemetry(jsonl)
+    cache = ResultCache(tmp_path / "cache")
+    with ServiceThread(workers=4, cache=cache, telemetry=telemetry) as svc:
+        remote = run_study_remote(
+            grid, master_seed=5, base_url=svc.url, clients=16
+        )
+
+    # Zero failed requests under 16-way concurrency.
+    assert remote.failed_requests == 0
+    assert all(s.count == grid.seeds_per_cell for s in remote.cell_stats)
+
+    # Aggregates equal the serial local run, bit for bit.
+    assert remote.aggregates() == serial.aggregates()
+
+    # Per-identity single execution: every distinct cache key is stored
+    # exactly once, no matter how many clients raced on it.
+    stores = [e.payload["key"] for e in telemetry.of_kind("cache_store")]
+    assert len(stores) == len(set(stores))
+    assert len(stores) == grid.total_runs  # all identities distinct here
+
+    # No torn ledger lines: every telemetry line parses and carries its
+    # event kind.
+    lines = jsonl.read_text().splitlines()
+    assert lines
+    for line in lines:
+        assert "kind" in json.loads(line)
+
+
+def test_concurrent_duplicate_submissions_execute_once(tmp_path):
+    # Same study submitted by 16 clients twice over: the second wave is
+    # pure cache traffic, and executions stay one-per-identity.
+    grid = preset_grid("quick", two_n=40, seeds_per_cell=6)
+    telemetry = Telemetry()
+    cache = ResultCache(tmp_path / "cache")
+    with ServiceThread(workers=4, cache=cache, telemetry=telemetry) as svc:
+        first = run_study_remote(grid, master_seed=1, base_url=svc.url, clients=16)
+        second = run_study_remote(grid, master_seed=1, base_url=svc.url, clients=16)
+
+    assert first.failed_requests == 0 and second.failed_requests == 0
+    assert second.aggregates() == first.aggregates()
+    stores = [e.payload["key"] for e in telemetry.of_kind("cache_store")]
+    assert len(stores) == len(set(stores)) == grid.total_runs
+    assert second.cache_hits == grid.total_runs
