@@ -209,10 +209,9 @@ class StreamingStats:
         """
         if other.count == 0:
             return
-        if self.count == 0:
-            delta = 0.0
-        else:
-            delta = other._mean - self._mean
+        # With self.count == 0 (and so self._mean == 0.0) Chan's update
+        # reduces to copying other's moments — no special case needed.
+        delta = other._mean - self._mean
         total = self.count + other.count
         self._m2 += other._m2 + delta * delta * self.count * other.count / total
         self._mean += delta * other.count / total
@@ -443,11 +442,14 @@ def best_of_k_extrapolation(
     a Weibull lower tail that is
     ``location + scale * (-ln(1 - 1/k)) ** (1/shape)``.  Keys are
     ``"k=<k>"`` for direct JSON embedding.
+
+    Requires ``k >= 2``: the best of a single run is one draw whose
+    expectation is the distribution mean, not a tail statistic, and the
+    1/1 quantile is outside the fit's validity region.
     """
     out = {}
     for k in ks:
-        if k < 1:
-            raise ValueError(f"k must be positive, got {k}")
-        p = 1.0 / k if k > 1 else 0.5
-        out[f"k={k}"] = round(fit.quantile(p), SUMMARY_DIGITS)
+        if k < 2:
+            raise ValueError(f"best-of-k needs k >= 2, got {k}")
+        out[f"k={k}"] = round(fit.quantile(1.0 / k), SUMMARY_DIGITS)
     return out

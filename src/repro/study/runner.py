@@ -171,6 +171,10 @@ def _drain_remote(
         except IndexError:
             return
         cell = grid.cells[cell_index]
+        # Any per-item failure — transport error, timeout, or a malformed
+        # payload (missing keys, non-numeric cut) — must land in
+        # counters["failed"]: a dead worker thread would silently drop
+        # every item it had claimed and bias the distribution.
         try:
             spec = cell.algorithm
             records = client.submit(
@@ -182,14 +186,16 @@ def _drain_remote(
             status = client.wait(records[0]["id"], timeout=job_timeout)
             result = status.get("result") or {}
             ok = status["state"] == "done" and result.get("status") == "ok"
-        except (ServiceClientError, TimeoutError):
+            cut = int(result["cut"]) if ok else 0
+            cached = bool(result.get("from_cache"))
+            seconds = float(result.get("seconds") or 0.0)
+        except (ServiceClientError, TimeoutError, LookupError, TypeError, ValueError):
             ok = False
-            result = {}
         with lock:
             if ok:
-                stats[cell_index].add(int(result["cut"]))
-                counters["cache_hits"] += 1 if result.get("from_cache") else 0
-                counters["engine_seconds"] += float(result.get("seconds") or 0.0)
+                stats[cell_index].add(cut)
+                counters["cache_hits"] += 1 if cached else 0
+                counters["engine_seconds"] += seconds
             else:
                 counters["failed"] += 1
 

@@ -17,6 +17,7 @@ import pytest
 from repro.obs import (
     P2Quantile,
     StreamingStats,
+    TailFit,
     best_of_k_extrapolation,
     fit_lower_tail,
 )
@@ -109,9 +110,43 @@ def test_merge_into_empty_and_with_empty():
     empty = StreamingStats()
     empty.merge(loaded)
     assert empty.summary() == loaded.summary()
+    # The Welford state must be absorbed too, not just the count table —
+    # it is what mean/variance read after a spill or further add()s.
+    mean, variance = _two_pass_moments(values)
+    assert empty.welford_mean == pytest.approx(mean, rel=1e-12)
+    assert empty.welford_variance == pytest.approx(variance, rel=1e-9)
     before = loaded.summary()
     loaded.merge(StreamingStats())
     assert loaded.summary() == before
+
+
+def test_merge_p2_shard_into_empty_keeps_moments():
+    # Float values put the shard in the P² regime, where mean/variance
+    # come straight from the Welford state — merging into a fresh
+    # accumulator must copy that state, not zero it.
+    values = _float_corpus(8, count=300)
+    shard = StreamingStats()
+    shard.add_many(values)
+    assert not shard.exact
+    empty = StreamingStats()
+    empty.merge(shard)
+    mean, variance = _two_pass_moments(values)
+    assert empty.count == len(values)
+    assert empty.mean == pytest.approx(mean, rel=1e-12)
+    assert empty.variance == pytest.approx(variance, rel=1e-9)
+
+
+def test_add_after_merge_into_empty_stays_exact():
+    # Regression: a stale zero Welford mean after merge-into-empty used
+    # to corrupt the moments of any subsequent add() once spilled.
+    empty = StreamingStats()
+    shard = StreamingStats()
+    shard.add_many([3, 4])
+    empty.merge(shard)
+    empty.add(7)
+    mean, variance = _two_pass_moments([3, 4, 7])
+    assert empty.welford_mean == pytest.approx(mean, rel=1e-12)
+    assert empty.welford_variance == pytest.approx(variance, rel=1e-9)
 
 
 # -- permutation invariance --------------------------------------------------------
@@ -222,6 +257,13 @@ def test_tail_fit_recovers_weibull_shape():
     # the location anchor.
     assert best["k=1000"] <= best["k=100"] <= best["k=10"]
     assert best["k=1000"] >= fit.location
+
+
+def test_best_of_k_rejects_k_below_two():
+    fit = TailFit(location=9.0, scale=30.0, shape=2.0, points=5, r_squared=0.99)
+    for bad in (0, 1, -3):
+        with pytest.raises(ValueError):
+            best_of_k_extrapolation(fit, ks=(bad,))
 
 
 def test_tail_fit_declines_degenerate_inputs():

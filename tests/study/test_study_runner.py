@@ -71,6 +71,47 @@ def test_failed_job_raises():
         run_study_local(broken, master_seed=0, engine=Engine(telemetry=Telemetry()))
 
 
+def test_drain_remote_counts_malformed_responses_as_failed():
+    # A "done" response missing the cut field (or with a non-numeric one)
+    # must count as a failed request, not kill the worker thread — a dead
+    # worker silently drops every item it claimed and biases the study.
+    import threading
+    from collections import deque
+
+    from repro.obs import StreamingStats
+    from repro.study.runner import _drain_remote, cell_seeds
+
+    grid = preset_grid("quick", two_n=40, seeds_per_cell=1)
+
+    class MalformedClient:
+        def __init__(self):
+            self.calls = 0
+
+        def submit(self, graph_id, algorithm, params=None, seeds=None):
+            return [{"id": f"job-{self.calls}"}]
+
+        def wait(self, job_id, timeout=None):
+            self.calls += 1
+            if self.calls % 2:
+                return {"state": "done", "result": {"status": "ok"}}  # no cut
+            return {"state": "done", "result": {"status": "ok", "cut": "n/a"}}
+
+    work = deque(
+        (index, cell_seeds(0, index, 1)[0]) for index in range(len(grid.cells))
+    )
+    total = len(work)
+    stats = [StreamingStats() for _ in grid.cells]
+    counters: dict = {"failed": 0, "cache_hits": 0, "engine_seconds": 0.0}
+    graph_ids = {cell.graph_key: "g0" for cell in grid.cells}
+    _drain_remote(
+        MalformedClient(), work, graph_ids, grid, stats,
+        counters, threading.Lock(), job_timeout=1.0,
+    )
+    assert not work  # the worker drained the whole queue
+    assert counters["failed"] == total
+    assert all(s.count == 0 for s in stats)
+
+
 def test_dashboard_renders_all_blocks():
     grid = preset_grid("quick", two_n=40, seeds_per_cell=5)
     outcome = run_study_local(grid, master_seed=0)
