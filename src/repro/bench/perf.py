@@ -1,14 +1,21 @@
-"""CSR-vs-dict performance snapshots (the ``repro-bisect perf`` command).
+"""Kernel-backend performance snapshots (the ``repro-bisect perf`` command).
 
-The CSR fast path (:mod:`repro.graphs.csr`) promises two things: *bitwise
-identical* results to the dict kernels, and a wall-clock win worth its
+The kernel layer (:mod:`repro.kernels`) promises two things: *bitwise
+identical* results across every backend, and a wall-clock win worth its
 complexity.  This module measures the second promise and spot-checks the
 first.  Each paper workload (``Gbreg``/``Gnp`` at 2n = 500/2000/5000) is
-run through KL, FM, SA, CKL, and CSA twice from the same seed — once on
-the CSR path, once with ``REPRO_NO_CSR=1`` — and the per-algorithm wall
-time, cut, and moves/second land in a ``BENCH_<n>.json`` snapshot.  The
-cuts from the two paths must agree exactly; a mismatch marks the whole
-snapshot failed, because it means the fast path changed behaviour.
+run through KL, FM, SA, CKL, and CSA once per backend from the same seed
+— ``dict`` (the reference kernels), ``array`` (the stdlib CSR kernels),
+and ``numpy`` when available — and the per-algorithm wall time, cut, and
+moves/second land in a ``BENCH_<n>.json`` snapshot.  The cuts and move
+counts from all backends must agree exactly; a mismatch marks the whole
+snapshot failed, because it means a fast path changed behaviour.
+
+At the large sizes the snapshot also carries a *streaming* case: a big
+``Gbreg`` run as an SA replica ensemble through the execution engine,
+once serially and once over a worker pool with shared-memory CSR
+sharding, recording the shm export/attach telemetry alongside the usual
+cut agreement (see :mod:`repro.graphs.shm`).
 
 Snapshots from different machines are not comparable in absolute seconds,
 so :func:`diff_snapshots` compares the *speedup ratios* (CSR time over
@@ -35,6 +42,7 @@ from ..core.pipeline import CompactedResult, ckl, csa
 from ..graphs.csr import csr_view
 from ..graphs.generators import gbreg, gnp_with_degree
 from ..graphs.graph import Graph
+from ..kernels import numpy_available
 from ..obs import obs_enabled
 from ..partition.annealing import AnnealingSchedule, simulated_annealing
 from ..partition.fm import fiduccia_mattheyses
@@ -46,11 +54,13 @@ __all__ = [
     "PERF_ALGORITHMS",
     "PERF_SIZES",
     "SMALL_SIZES",
+    "STREAMING_SIZE_FLOOR",
     "PerfCase",
     "SNAPSHOT_SCHEMA",
     "diff_snapshots",
     "load_snapshot",
     "measure_size",
+    "measure_streaming",
     "perf_cases",
     "render_diff",
     "render_snapshot",
@@ -58,9 +68,16 @@ __all__ = [
     "write_snapshot",
 ]
 
-SNAPSHOT_SCHEMA = 1
+#: Schema 2 added the per-backend columns (``array``/``numpy`` beside
+#: ``dict``) and the optional ``streaming`` shared-memory case; schema 1
+#: snapshots (committed baselines) still load and diff.
+SNAPSHOT_SCHEMA = 2
+_SUPPORTED_SCHEMAS = (1, 2)
 
 PERF_ALGORITHMS = ("kl", "fm", "sa", "ckl", "csa")
+
+#: Sizes at and above this get the streaming shared-memory case by default.
+STREAMING_SIZE_FLOOR = 5000
 
 # The paper's random-graph sizes (2n): Section VI uses 500-vertex graphs
 # for the dense sweeps and 2000/5000 for the headline tables.
@@ -101,17 +118,31 @@ def perf_cases(two_n: int) -> list[PerfCase]:
 
 
 @contextmanager
-def _forced_dict_path():
-    """Temporarily set ``REPRO_NO_CSR=1`` (restores the prior value)."""
-    prior = os.environ.get("REPRO_NO_CSR")
-    os.environ["REPRO_NO_CSR"] = "1"
+def _forced_backend(backend: str):
+    """Pin ``REPRO_KERNEL`` to one backend (restores prior env on exit).
+
+    ``REPRO_NO_CSR`` is cleared for the duration so the harness measures
+    the backend it says it measures even under an ambient escape hatch.
+    """
+    prior = {name: os.environ.get(name) for name in ("REPRO_KERNEL", "REPRO_NO_CSR")}
+    os.environ["REPRO_KERNEL"] = backend
+    os.environ.pop("REPRO_NO_CSR", None)
     try:
         yield
     finally:
-        if prior is None:
-            del os.environ["REPRO_NO_CSR"]
-        else:
-            os.environ["REPRO_NO_CSR"] = prior
+        for name, value in prior.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def _snapshot_backends() -> tuple[str, ...]:
+    """The backends this host can measure (``numpy`` only if importable)."""
+    backends = ["dict", "array"]
+    if numpy_available():
+        backends.append("numpy")
+    return tuple(backends)
 
 
 def _move_count(result) -> int:
@@ -168,14 +199,19 @@ def measure_size(
     sa_size_factor: int = 4,
     algorithms: Iterable[str] = PERF_ALGORITHMS,
     repeats: int = 1,
+    streaming: bool | None = None,
 ) -> dict:
-    """Measure every case x algorithm cell at one size; returns a snapshot.
+    """Measure every case x algorithm x backend cell at one size.
 
     The CSR view is compiled once per case *outside* the timed region
     (recorded as ``csr_compile_seconds``): in real use one compile is
     amortized over a whole run/table sweep, and charging it to whichever
     algorithm happened to go first would distort per-algorithm ratios.
+
+    ``streaming=None`` includes the shared-memory streaming case exactly
+    when ``two_n >= STREAMING_SIZE_FLOOR``.
     """
+    backends = _snapshot_backends()
     cases = []
     ok = True
     for case in perf_cases(two_n):
@@ -185,25 +221,40 @@ def measure_size(
         compile_seconds = time.perf_counter() - start
         cells: dict[str, dict] = {}
         for name in algorithms:
-            csr_seconds, csr_cut, moves = _best_run(
-                name, graph, seed, sa_size_factor, repeats
+            runs: dict[str, tuple[float, int, int]] = {}
+            for backend in backends:
+                with _forced_backend(backend):
+                    runs[backend] = _best_run(
+                        name, graph, seed, sa_size_factor, repeats
+                    )
+            dict_seconds, cut, moves = runs["dict"]
+            cuts_match = all(
+                (c, m) == (cut, moves) for _s, c, m in runs.values()
             )
-            with _forced_dict_path():
-                dict_seconds, dict_cut, dict_moves = _best_run(
-                    name, graph, seed, sa_size_factor, repeats
-                )
-            cuts_match = csr_cut == dict_cut and moves == dict_moves
             ok = ok and cuts_match
-            cells[name] = {
-                "csr_seconds": csr_seconds,
-                "dict_seconds": dict_seconds,
-                "speedup": dict_seconds / csr_seconds if csr_seconds > 0 else 0.0,
-                "cut": csr_cut,
+            cell: dict = {
+                "cut": cut,
                 "moves": moves,
-                "csr_moves_per_sec": moves / csr_seconds if csr_seconds > 0 else 0.0,
-                "dict_moves_per_sec": moves / dict_seconds if dict_seconds > 0 else 0.0,
                 "cuts_match": cuts_match,
+                "backends": list(backends),
             }
+            for backend, (seconds, _c, _m) in runs.items():
+                cell[f"{backend}_seconds"] = seconds
+                cell[f"{backend}_moves_per_sec"] = (
+                    moves / seconds if seconds > 0 else 0.0
+                )
+            array_seconds = runs["array"][0]
+            # "speedup" stays dict-over-default-CSR-backend so schema-1
+            # baselines keep diffing against schema-2 snapshots.
+            cell["speedup"] = (
+                dict_seconds / array_seconds if array_seconds > 0 else 0.0
+            )
+            if "numpy" in runs:
+                numpy_seconds = runs["numpy"][0]
+                cell["speedup_numpy"] = (
+                    dict_seconds / numpy_seconds if numpy_seconds > 0 else 0.0
+                )
+            cells[name] = cell
         cases.append(
             {
                 "label": case.label,
@@ -213,18 +264,79 @@ def measure_size(
                 "algorithms": cells,
             }
         )
-    return {
+    snapshot = {
         "schema": SNAPSHOT_SCHEMA,
         "size": two_n,
         "seed": seed,
         "sa_size_factor": sa_size_factor,
         "repeats": repeats,
+        "backends": list(backends),
         # Whether REPRO_OBS instrumentation was live during the measurement.
         # Instrumented and uninstrumented timings are not commensurable, so
         # diff_snapshots refuses to mix them.
         "obs": obs_enabled(),
         "ok": ok,
         "cases": cases,
+    }
+    if streaming is None:
+        streaming = two_n >= STREAMING_SIZE_FLOOR
+    if streaming:
+        stream = measure_streaming(two_n, seed=seed)
+        snapshot["streaming"] = stream
+        snapshot["ok"] = ok and stream["cuts_match"]
+    return snapshot
+
+
+def measure_streaming(
+    two_n: int,
+    seed: int = 0,
+    replicas: int = 4,
+    jobs: int = 2,
+    sa_size_factor: int = 1,
+) -> dict:
+    """The streaming case: a large Gbreg SA ensemble over shm sharding.
+
+    Runs the same replica set twice — serial in-process, then through a
+    worker pool where the compiled CSR is exported to shared memory and
+    attached zero-copy — and checks the cuts agree bit for bit.  The
+    worker-side ``worker_csr_compiles`` counters prove the compile-once
+    contract (they must sum to zero).
+    """
+    from ..engine.executor import Engine
+    from ..engine.replicas import sa_replicas
+    from ..engine.telemetry import Telemetry
+
+    b = _gbreg_width(two_n)
+    graph = gbreg(two_n, b, _GBREG_DEGREE, resolve_rng(seed)).graph
+    start = time.perf_counter()
+    serial = sa_replicas(
+        graph, replicas, seed=seed, size_factor=sa_size_factor, jobs=1
+    )
+    serial_seconds = time.perf_counter() - start
+
+    telemetry = Telemetry()
+    engine = Engine(jobs=jobs, telemetry=telemetry)
+    start = time.perf_counter()
+    shared = sa_replicas(
+        graph, replicas, seed=seed, size_factor=sa_size_factor, engine=engine
+    )
+    shared_seconds = time.perf_counter() - start
+    return {
+        "label": f"Gbreg({two_n},{b},{_GBREG_DEGREE}) SA x{replicas}",
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "replicas": replicas,
+        "jobs": jobs,
+        "sa_size_factor": sa_size_factor,
+        "serial_seconds": serial_seconds,
+        "shared_seconds": shared_seconds,
+        "shm_exports": telemetry.count("shm_export"),
+        "shm_unlinks": telemetry.count("shm_unlink"),
+        "worker_csr_compiles": sum(
+            r.counters.get("worker_csr_compiles", 0) for r in shared.results
+        ),
+        "cuts": list(serial.cuts),
+        "cuts_match": serial.cuts == shared.cuts,
     }
 
 
@@ -246,10 +358,10 @@ def load_snapshot(path: str) -> dict:
     with open(path, encoding="utf-8") as handle:
         snapshot = json.load(handle)
     schema = snapshot.get("schema")
-    if schema != SNAPSHOT_SCHEMA:
+    if schema not in _SUPPORTED_SCHEMAS:
         raise ValueError(
             f"{path}: unsupported perf snapshot schema {schema!r} "
-            f"(expected {SNAPSHOT_SCHEMA})"
+            f"(expected one of {_SUPPORTED_SCHEMAS})"
         )
     return snapshot
 
@@ -313,19 +425,24 @@ def diff_snapshots(old: dict, new: dict, threshold: float = 0.25) -> dict:
 
 
 def render_snapshot(snapshot: dict) -> str:
-    """Human-readable table for one snapshot."""
+    """Human-readable table for one snapshot (schema 1 or 2)."""
+
+    def fmt(seconds: float | None) -> str:
+        return "-" if seconds is None else f"{seconds:.3f}"
+
     rows = []
     for case in snapshot["cases"]:
         for name, cell in case["algorithms"].items():
+            array_seconds = cell.get("array_seconds", cell.get("csr_seconds"))
             rows.append(
                 [
                     case["label"],
                     name,
-                    f"{cell['dict_seconds']:.3f}",
-                    f"{cell['csr_seconds']:.3f}",
+                    fmt(cell["dict_seconds"]),
+                    fmt(array_seconds),
+                    fmt(cell.get("numpy_seconds")),
                     f"{cell['speedup']:.2f}x",
                     cell["cut"],
-                    f"{cell['csr_moves_per_sec']:,.0f}",
                     "yes" if cell["cuts_match"] else "NO",
                 ]
             )
@@ -333,11 +450,24 @@ def render_snapshot(snapshot: dict) -> str:
         f"perf 2n={snapshot['size']} seed={snapshot['seed']} "
         f"sa_size_factor={snapshot['sa_size_factor']}"
     )
-    return render_generic_table(
-        ["graph", "algo", "dict(s)", "csr(s)", "speedup", "cut", "moves/s", "match"],
-        rows,
-        title=title,
-    )
+    lines = [
+        render_generic_table(
+            ["graph", "algo", "dict(s)", "array(s)", "numpy(s)", "speedup",
+             "cut", "match"],
+            rows,
+            title=title,
+        )
+    ]
+    stream = snapshot.get("streaming")
+    if stream is not None:
+        lines.append(
+            f"streaming {stream['label']}: serial {stream['serial_seconds']:.3f}s, "
+            f"shm x{stream['jobs']} workers {stream['shared_seconds']:.3f}s, "
+            f"{stream['shm_exports']} export(s), "
+            f"{stream['worker_csr_compiles']} worker compile(s), "
+            f"cuts {'match' if stream['cuts_match'] else 'DIVERGE'}"
+        )
+    return "\n".join(lines)
 
 
 def render_diff(report: dict) -> str:

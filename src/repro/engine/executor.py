@@ -20,19 +20,25 @@ order**.  Design invariants:
 
 Graphs are passed to ``run`` in a separate ``graphs`` table keyed by
 ``Job.graph_key`` and shipped to each worker once via the pool
-initializer, not once per job.
+initializer, not once per job.  When shared-memory sharding is on (the
+default — see :mod:`repro.graphs.shm`), a :class:`Graph` is exported
+once as a compiled CSR segment and the workers receive only its name:
+one compile per graph per batch, zero-copy array access in every
+worker, and a per-worker pickle only as the fallback path.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import signal
 import threading
 from collections.abc import Mapping, Sequence
 from dataclasses import replace
 from typing import Any
 
-from ..graphs.graph import graph_fingerprint, vertex_token
+from ..graphs.graph import Graph, graph_fingerprint, vertex_token
+from ..graphs.shm import SharedGraphSegment, ShmAttachError, ShmGraphRef, shm_enabled
 from ..obs import counter, gauge, histogram, obs_enabled, span
 from ..obs.clock import monotonic_time
 from ..rng import LaggedFibonacciRandom
@@ -211,23 +217,103 @@ def execute_job(job: Job, graph: Any) -> JobResult:
 # -- worker-process plumbing -------------------------------------------------------
 
 _WORKER_GRAPHS: Mapping[str, Any] = {}
+_WORKER_ATTACHED: dict[str, Any] = {}
+
+#: Error prefix marking "the worker could not attach the shm segment";
+#: the parent re-runs such jobs serially on the pickled graph instead of
+#: failing the batch.
+_SHM_ATTACH_PREFIX = "shm-attach: "
 
 
 def _worker_init(graphs: Mapping[str, Any]) -> None:
-    global _WORKER_GRAPHS
+    global _WORKER_GRAPHS, _WORKER_ATTACHED
     _WORKER_GRAPHS = graphs
+    _WORKER_ATTACHED = {}
+
+
+def _close_worker_segments() -> None:
+    """Detach every segment this worker attached (atexit, worker side)."""
+    for segment, _graph in _WORKER_ATTACHED.values():
+        segment.close()
+    _WORKER_ATTACHED.clear()
+
+
+def _resolve_worker_graph(key: str) -> Any:
+    """The worker-side graph for ``key``, attaching shm refs once.
+
+    The segment object is cached alongside the rebuilt graph — it must
+    outlive every zero-copy view into it — and detached via ``atexit``
+    so worker shutdown is quiet and deterministic.
+    """
+    entry = _WORKER_GRAPHS[key]
+    if isinstance(entry, ShmGraphRef):
+        cached = _WORKER_ATTACHED.get(entry.name)
+        if cached is None:
+            if not _WORKER_ATTACHED:
+                import atexit
+
+                atexit.register(_close_worker_segments)
+            segment = SharedGraphSegment.attach(entry.name)
+            cached = (segment, segment.graph())
+            _WORKER_ATTACHED[entry.name] = cached
+        return cached[1]
+    return entry
 
 
 def _worker_run(job: Job) -> JobResult:
-    return execute_job(job, _WORKER_GRAPHS[job.graph_key])
+    shared = isinstance(_WORKER_GRAPHS.get(job.graph_key), ShmGraphRef)
+    compiles = getattr(counter("csr_compiles_total"), "value", 0)
+    try:
+        graph = _resolve_worker_graph(job.graph_key)
+    except ShmAttachError as exc:
+        return JobResult(
+            job_id=job.job_id,
+            graph_key=job.graph_key,
+            algorithm=job.algorithm_name(),
+            seed=job.seed,
+            status="failed",
+            cut=None,
+            side0=(),
+            seconds=0.0,
+            attempts=0,
+            error=f"{_SHM_ATTACH_PREFIX}{exc}",
+            tags=job.tags,
+        )
+    result = execute_job(job, graph)
+    if shared:
+        # Proof obligation for the compile-once contract: how many CSR
+        # compiles this job triggered in its worker (should be zero).
+        delta = getattr(counter("csr_compiles_total"), "value", 0) - compiles
+        result.counters["worker_csr_compiles"] = delta
+    return result
+
+
+def _pool_start_method() -> str:
+    """The multiprocessing start method the worker pool should use.
+
+    ``REPRO_START_METHOD`` overrides (must name an available method);
+    otherwise prefer ``fork`` (no pickling of the graph table) and fall
+    back to the platform default — *explicitly*, rather than handing
+    ``get_context`` a ``None`` and hoping, so spawn-only platforms get
+    the same seed derivation and telemetry as fork ones.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    override = os.environ.get("REPRO_START_METHOD", "").strip()
+    if override:
+        if override not in methods:
+            raise ValueError(
+                f"REPRO_START_METHOD={override!r} is not available here "
+                f"(choices: {', '.join(methods)})"
+            )
+        return override
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
 
 
 def _make_pool(workers: int, graphs: Mapping[str, Any]):
     """Create the process pool (separated out so tests can break it)."""
     from concurrent.futures import ProcessPoolExecutor
 
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    context = multiprocessing.get_context(_pool_start_method())
     return ProcessPoolExecutor(
         max_workers=workers,
         mp_context=context,
@@ -411,27 +497,85 @@ class Engine:
             )
             counter("engine_serial_fallbacks_total").inc()
             parallel = False
+        segments: dict[str, SharedGraphSegment] = {}
         if parallel:
             needed = {job.graph_key for _, job, _ in pending}
+            table = self._share_graphs(needed, graphs, segments)
             try:
-                pool = _make_pool(
-                    min(self.jobs, len(pending)),
-                    {key: graphs[key] for key in needed},
-                )
+                pool = _make_pool(min(self.jobs, len(pending)), table)
             except Exception as exc:  # noqa: BLE001 - degrade, don't die
                 self.telemetry.emit(
                     "pool_unavailable", error=f"{type(exc).__name__}: {exc}"
                 )
                 counter("engine_serial_fallbacks_total").inc()
+                self._release_segments(segments)
                 parallel = False
+            else:
+                self.telemetry.emit(
+                    "pool_created",
+                    method=_pool_start_method(),
+                    workers=min(self.jobs, len(pending)),
+                )
         if parallel:
-            pending = self._run_parallel(pool, pending, results)
+            try:
+                pending = self._run_parallel(pool, pending, results)
+            finally:
+                # Unconditional teardown — normal exit, broken pool, or a
+                # KeyboardInterrupt mid-batch must all leave /dev/shm clean.
+                self._release_segments(segments)
         for index, job, key in pending:
             self.telemetry.emit("job_queued", job.job_id, mode="serial")
             self.telemetry.emit("job_start", job.job_id)
             result = execute_job(job, graphs[job.graph_key])
             results[index] = result
             self._store(key, result)
+
+    def _share_graphs(
+        self,
+        needed: set[str],
+        graphs: Mapping[str, Any],
+        segments: dict[str, SharedGraphSegment],
+    ) -> dict[str, Any]:
+        """The worker graph table: shm refs where possible, graphs otherwise.
+
+        Exported segments are recorded in ``segments`` (keyed by graph
+        key) for the caller to release; a failed export falls back to
+        shipping that graph whole, exactly as before shm existed.
+        """
+        table: dict[str, Any] = {}
+        for key in sorted(needed, key=str):
+            graph = graphs[key]
+            segment = None
+            if shm_enabled() and isinstance(graph, Graph):
+                try:
+                    segment = SharedGraphSegment.create(graph)
+                except Exception as exc:  # noqa: BLE001 - unshareable: ship whole
+                    self.telemetry.emit(
+                        "shm_export_failed",
+                        graph_key=key,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+            if segment is None:
+                table[key] = graph
+                continue
+            segments[key] = segment
+            table[key] = ShmGraphRef(segment.name)
+            self.telemetry.emit(
+                "shm_export",
+                graph_key=key,
+                segment=segment.name,
+                bytes=segment.size,
+            )
+            counter("engine_shm_exports_total").inc()
+        return table
+
+    def _release_segments(self, segments: dict[str, SharedGraphSegment]) -> None:
+        """Close and unlink every exported segment (idempotent)."""
+        while segments:
+            key, segment = segments.popitem()
+            segment.close()
+            segment.unlink()
+            self.telemetry.emit("shm_unlink", graph_key=key, segment=segment.name)
 
     def _run_parallel(
         self,
@@ -442,7 +586,7 @@ class Engine:
         """Run ``pending`` on ``pool``; returns jobs still needing serial runs."""
         from concurrent.futures import BrokenExecutor, as_completed
 
-        leftover: list[tuple[int, Job, str | None]] = []
+        fallback: list[tuple[int, Job, str | None]] = []
         queue_wait = histogram("engine_queue_wait_seconds") if obs_enabled() else None
         try:
             with pool:
@@ -456,6 +600,20 @@ class Engine:
                 for future in as_completed(futures):
                     index, job, key = futures[future]
                     result = future.result()
+                    if (
+                        result.status == "failed"
+                        and result.error is not None
+                        and result.error.startswith(_SHM_ATTACH_PREFIX)
+                    ):
+                        # The worker could not map the segment (stale name,
+                        # shm limits): degrade this job to the serial
+                        # pickled-graph path — same seed, same result.
+                        self.telemetry.emit(
+                            "shm_attach_failed", job.job_id, error=result.error
+                        )
+                        counter("engine_shm_attach_failed_total").inc()
+                        fallback.append((index, job, key))
+                        continue
                     if queue_wait is not None:
                         # Turnaround minus compute approximates time spent
                         # waiting for a worker slot.
@@ -466,11 +624,13 @@ class Engine:
         except (BrokenExecutor, OSError) as exc:
             # A worker died (or the pool broke mid-flight): finish the
             # unfinished jobs serially rather than failing the batch.
+            # (Jobs already queued for shm-attach fallback have no result
+            # either, so this sweep subsumes them.)
             self.telemetry.emit("pool_broken", error=f"{type(exc).__name__}: {exc}")
             counter("engine_pool_broken_total").inc()
-            leftover = [
+            return [
                 (index, job, key)
                 for index, job, key in pending
                 if results[index] is None
             ]
-        return leftover
+        return fallback

@@ -166,6 +166,11 @@ class JobRunner:
         self._closed = False
         self._key_locks: dict[str, threading.Lock] = {}
         self._key_guard = threading.Lock()
+        # Shared-memory graph handles resolved by submit: one attach per
+        # segment name, shared by every job that references it.
+        self._shm_guard = threading.Lock()
+        self._shm_segments: dict[str, Any] = {}
+        self._shm_graphs: dict[str, Any] = {}
         self._threads = [
             threading.Thread(target=self._worker_loop, name=f"job-runner-{i}", daemon=True)
             for i in range(workers)
@@ -178,8 +183,16 @@ class JobRunner:
     def submit(self, job: Job, graph: Any, lane: str = "") -> JobHandle:
         """Queue ``job`` against ``graph``; returns its handle immediately.
 
-        A cache hit resolves the handle before it ever reaches a worker.
+        ``graph`` may also be a shared-memory handle — a
+        :class:`~repro.graphs.shm.SharedGraphSegment` or a by-name
+        :class:`~repro.graphs.shm.ShmGraphRef` — in which case the
+        segment is attached once, cached by name, and every job that
+        names it shares the one zero-copy reconstruction
+        (:class:`~repro.graphs.shm.ShmAttachError` propagates when the
+        name is stale).  A cache hit resolves the handle before it ever
+        reaches a worker.
         """
+        graph = self._resolve_graph(job, graph)
         key = self._key_for(job, graph)
         handle = JobHandle(job, lane, key)
         if key is not None and self.cache is not None:
@@ -238,6 +251,11 @@ class JobRunner:
         if wait:
             for thread in self._threads:
                 thread.join(timeout=5.0)
+        with self._shm_guard:
+            self._shm_graphs.clear()
+            while self._shm_segments:
+                _name, segment = self._shm_segments.popitem()
+                segment.close()
 
     def __enter__(self) -> "JobRunner":
         return self
@@ -247,6 +265,26 @@ class JobRunner:
         return False
 
     # -- internals ----------------------------------------------------------------
+
+    def _resolve_graph(self, job: Job, graph: Any) -> Any:
+        """Materialize shared-memory graph handles (one attach per name)."""
+        from ..graphs.shm import SharedGraphSegment, ShmGraphRef
+
+        if isinstance(graph, SharedGraphSegment):
+            return graph.graph()  # caller owns the segment's lifecycle
+        if isinstance(graph, ShmGraphRef):
+            with self._shm_guard:
+                cached = self._shm_graphs.get(graph.name)
+                if cached is None:
+                    segment = SharedGraphSegment.attach(graph.name)
+                    cached = segment.graph()
+                    self._shm_segments[graph.name] = segment
+                    self._shm_graphs[graph.name] = cached
+                    self.telemetry.emit(
+                        "shm_attach", job.job_id, segment=graph.name
+                    )
+            return cached
+        return graph
 
     def _key_for(self, job: Job, graph: Any) -> str | None:
         spec = job.spec()

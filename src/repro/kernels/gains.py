@@ -1,0 +1,114 @@
+"""Batch gain initialization and partition recounts over the CSR buffers.
+
+These are the *embarrassingly parallel* stages of the heuristics — one
+pass over every directed edge slot — and therefore the stages worth
+vectorizing.  The array implementations live in
+:mod:`repro.graphs.csr` (C-level ``sum(map(...))`` pipelines); this
+module adds the numpy twins and a backend dispatcher.  All variants
+return identical Python ints: the arithmetic is exact int64 (gains and
+weights are bounded far below 2**63), so backend choice never changes a
+decision downstream.
+"""
+
+from __future__ import annotations
+
+from ..graphs.csr import (
+    CSRGraph,
+    csr_cut_weight,
+    csr_move_gains,
+    csr_side_weights,
+)
+
+__all__ = ["cut_weight", "move_gains", "side_weights"]
+
+
+def _np_arrays(csr: CSRGraph):
+    """Zero-copy numpy views of the canonical ``array('q')`` buffers, cached."""
+
+    def build():
+        import numpy as np
+
+        return (
+            np.frombuffer(csr.indptr, dtype=np.int64),
+            np.frombuffer(csr.indices, dtype=np.int64),
+            np.frombuffer(csr.edge_weight, dtype=np.int64),
+            np.frombuffer(csr.heads, dtype=np.int64),
+            np.frombuffer(csr.vertex_weight, dtype=np.int64),
+        )
+
+    return csr._list("numpy_views", build)
+
+
+def _move_gains_numpy(csr: CSRGraph, sides: list[int]) -> list[int]:
+    import numpy as np
+
+    n = csr.num_vertices
+    indptr, indices, edge_weight, _heads, _vw = _np_arrays(csr)
+    sides_np = np.asarray(sides, dtype=np.int64)
+    if csr.num_edges == 0:
+        return [0] * n
+    other = sides_np[indices]  # side of the far endpoint, per directed slot
+    # Segment sums via prefix sums: csum[indptr[i+1]] - csum[indptr[i]].
+    # (reduceat sums between *consecutive* offsets, so isolated vertices —
+    # empty segments — would corrupt their neighbours' sums; prefix-sum
+    # differences handle them exactly.  int64 is exact here: weights and
+    # their totals are bounded far below 2**63.)
+    def segment_sums(values):
+        csum = np.zeros(len(values) + 1, dtype=np.int64)
+        np.cumsum(values, out=csum[1:])
+        return csum[indptr[1:]] - csum[indptr[:-1]]
+
+    if csr.unit_edge_weights:
+        s1 = segment_sums(other)
+        wdeg = np.diff(indptr)
+    else:
+        s1 = segment_sums(other * edge_weight)
+        wdeg = segment_sums(edge_weight)
+    gains = np.where(sides_np == 0, 2 * s1 - wdeg, wdeg - 2 * s1)
+    return gains.tolist()
+
+
+def _cut_weight_numpy(csr: CSRGraph, sides: list[int]) -> int:
+    import numpy as np
+
+    if csr.num_edges == 0:
+        return 0
+    _indptr, indices, edge_weight, heads, _vw = _np_arrays(csr)
+    sides_np = np.asarray(sides, dtype=np.int64)
+    crossing = sides_np[heads] != sides_np[indices]
+    if csr.unit_edge_weights:
+        return int(np.count_nonzero(crossing)) // 2
+    return int(edge_weight[crossing].sum()) // 2
+
+
+def _side_weights_numpy(csr: CSRGraph, sides: list[int]) -> tuple[int, int]:
+    import numpy as np
+
+    if csr.unit_vertex_weights:
+        w1 = int(sum(sides))
+        return csr.num_vertices - w1, w1
+    _indptr, _indices, _ew, _heads, vertex_weight = _np_arrays(csr)
+    sides_np = np.asarray(sides, dtype=np.bool_)
+    w1 = int(vertex_weight[sides_np].sum())
+    return csr.total_vertex_weight - w1, w1
+
+
+def move_gains(csr: CSRGraph, sides: list[int], backend: str) -> list[int]:
+    """Per-vertex move gains under the named backend (``array`` | ``numpy``)."""
+    if backend == "numpy":
+        return _move_gains_numpy(csr, sides)
+    return csr_move_gains(csr, sides)
+
+
+def cut_weight(csr: CSRGraph, sides: list[int], backend: str) -> int:
+    """Cut weight of ``sides`` under the named backend."""
+    if backend == "numpy":
+        return _cut_weight_numpy(csr, sides)
+    return csr_cut_weight(csr, sides)
+
+
+def side_weights(csr: CSRGraph, sides: list[int], backend: str) -> tuple[int, int]:
+    """Per-side vertex weight totals under the named backend."""
+    if backend == "numpy":
+        return _side_weights_numpy(csr, sides)
+    return csr_side_weights(csr, sides)

@@ -1,0 +1,100 @@
+"""Bulk generation for the lagged-Fibonacci stream (x[n] = x[n-24] + x[n-55]).
+
+The SA flip sweep consumes one raw 64-bit value per index draw (plus one
+per uphill move), millions per run.  Drawing them through
+:class:`~repro.rng.LaggedFibonacciRandom` costs a ring-buffer store and
+wrap check per value even when inlined; generating them in *blocks* ahead
+of the walk amortizes that to a C-level list comprehension (or a numpy
+vector add) per 24 values.
+
+The block values are exactly the values the generator would produce —
+the recurrence is a pure function of the last 55 outputs — and
+:func:`restore_state` writes the generator's ring table/index to the
+state it would have reached after consuming ``total`` values, so code
+running after the sweep (``rebalance`` draws, a second algorithm on the
+same rng) sees an indistinguishable generator.
+"""
+
+from __future__ import annotations
+
+from ..rng import LaggedFibonacciRandom
+
+__all__ = [
+    "fill_block",
+    "fill_block_numpy",
+    "history",
+    "restore_state",
+]
+
+_MASK = (1 << 64) - 1
+
+
+def history(rng: LaggedFibonacciRandom) -> list[int]:
+    """The generator's last 55 outputs, oldest first.
+
+    ``rng._table[rng._index]`` is the slot about to be overwritten — the
+    oldest live value — so reading the ring forward from ``_index`` yields
+    the outputs in generation order.
+    """
+    table = rng._table
+    idx = rng._index
+    return [table[(idx + k) % 55] for k in range(55)]
+
+
+def fill_block(hist: list[int], count: int) -> tuple[list[int], list[int]]:
+    """Generate ``>= count`` next stream values from ``hist`` (55, oldest first).
+
+    Returns ``(values, new_hist)`` where ``new_hist`` is the trailing 55
+    values ready for the next call.  Values come in chunks of 24 — the
+    short lag — because within a chunk every output depends only on
+    values already in ``hist``, which makes the chunk one zip/listcomp.
+    """
+    h = hist
+    out: list[int] = []
+    while len(out) < count:
+        # x[n] = x[n-24] + x[n-55]: h[31:] supplies the 24-lag operands,
+        # h[:24] the 55-lag operands (zip stops at the shorter side).
+        chunk = [(a + b) & _MASK for a, b in zip(h[31:], h)]
+        out += chunk
+        h = h[24:] + chunk
+    return out, h
+
+
+def fill_block_numpy(hist: list[int], count: int) -> tuple[list[int], list[int]]:
+    """:func:`fill_block` with the chunk recurrence run as numpy uint64 adds.
+
+    uint64 addition wraps mod 2**64, which *is* the recurrence; the result
+    list contains the identical integers.  Returns plain Python lists so
+    the scalar sweep indexes unboxed ints exactly as in the array path.
+    """
+    import numpy as np
+
+    rounds = -(-count // 24)
+    buf = np.empty(55 + rounds * 24, dtype=np.uint64)
+    buf[:55] = hist
+    pos = 55
+    for _ in range(rounds):
+        buf[pos : pos + 24] = buf[pos - 24 : pos] + buf[pos - 55 : pos - 31]
+        pos += 24
+    values = buf[55:pos].tolist()
+    return values, buf[pos - 55 : pos].tolist()
+
+
+def restore_state(
+    rng: LaggedFibonacciRandom, idx0: int, total: int, window: list[int]
+) -> None:
+    """Advance ``rng`` to the state after consuming ``total`` stream values.
+
+    ``idx0`` is ``rng._index`` at the moment :func:`history` was taken and
+    ``window`` holds the last ``min(total, 55)`` *consumed* values in
+    order.  Ring slot ``(idx0 + m) % 55`` carries stream value ``m``;
+    slots older than the window still hold their pre-sweep values, which
+    are exactly stream values ``m < 0`` — already correct.
+    """
+    if total <= 0:
+        return
+    table = rng._table
+    start = total - len(window)
+    for k, value in enumerate(window):
+        table[(idx0 + start + k) % 55] = value
+    rng._index = (idx0 + total) % 55

@@ -25,18 +25,15 @@ from dataclasses import dataclass, field
 
 from operator import mul
 
-from ...graphs.csr import (
-    CSRGraph,
-    csr_cut_weight,
-    csr_enabled,
-    csr_move_gains,
-    csr_side_weights,
-    csr_view,
-)
+from ...graphs.csr import CSRGraph, csr_view
 from ...graphs.graph import Graph
+from ...kernels import kernel_backend
+from ...kernels.gains import cut_weight as kernel_cut_weight
+from ...kernels.gains import side_weights as kernel_side_weights
+from ...kernels.sa import flip_walk
 from ...obs import counter, gauge, histogram, obs_enabled, span
 from ...obs.metrics import RATIO_BUCKETS
-from ...rng import LaggedFibonacciRandom, resolve_rng
+from ...rng import resolve_rng
 from ..bisection import Bisection, cut_weight, default_tolerance, rebalance, side_weights
 from ..random_init import random_assignment
 from .cost import BalanceCost
@@ -159,164 +156,60 @@ def _anneal_flip_csr(
     cost: BalanceCost,
     balance_tolerance: int,
     record_trace: bool,
+    backend: str,
 ) -> SAResult:
     """The flip-neighborhood Metropolis walk over the CSR view.
 
     Bit-identical to the dict loop in :func:`simulated_annealing`: vertex
-    ids follow insertion order so ``randrange`` draws pick the same
-    vertices, ``rng.random()`` is consumed under exactly the same
-    condition (``delta > 0``), and every float expression is written in
-    the same order.  What changes is the per-move cost: the neighbor scan
-    is a C-level ``sum(map(...))`` over a flat id list instead of a
-    label-hashing dict walk, and saving a new best is a list copy instead
-    of a dict copy.
+    ids follow insertion order so the index draws pick the same vertices,
+    the uniform draw is consumed under exactly the same condition
+    (``delta > 0``), and every decision float is computed from the same
+    expressions.  The sweep itself lives in :mod:`repro.kernels.sa`
+    (buffered lagged-Fibonacci stream, per-side penalty precompute,
+    per-temperature exp memo); this wrapper owns the framing — initial
+    state, T0 sampling, and the result envelope.
     """
     csr = csr_view(graph)
-    n = csr.num_vertices
     sides = csr.sides_list(assignment)
-    nbrs = csr.neighbor_lists()
-    wts = None if csr.unit_edge_weights else csr.weight_lists()
-    vweights = csr.vertex_weight_list()
 
-    cut = csr_cut_weight(csr, sides)
+    cut = kernel_cut_weight(csr, sides, backend)
     initial_cut = cut
-    w0, w1 = csr_side_weights(csr, sides)
+    w0, w1 = kernel_side_weights(csr, sides, backend)
     diff = w0 - w1
     initial_imbalance = abs(diff)
 
-    best_cut = cut if abs(diff) <= balance_tolerance else None
-    best_sides = sides.copy() if best_cut is not None else None
-
     temperature = _sample_initial_temperature_csr(csr, sides, diff, cost, schedule, rng)
-    initial_temperature = temperature
-    moves_per_temp = schedule.moves_per_temperature(n)
-    cutoff = schedule.acceptance_cutoff(n)
 
-    attempted = accepted = 0
-    temperatures = 0
-    stale = 0
-    trace: list[tuple[float, float, int]] = []
+    walk = flip_walk(
+        csr,
+        sides,
+        cut,
+        diff,
+        temperature,
+        rng,
+        schedule,
+        cost.alpha,
+        balance_tolerance,
+        record_trace,
+        backend,
+    )
 
-    rand = rng.random
-    # randrange(n) delegates to _randbelow(n) for positive int n in every
-    # random.Random; binding it directly skips the wrapper on the hottest
-    # call in the package while consuming the identical draws.
-    randbelow = rng._randbelow
-    alpha = cost.alpha
-    exp = math.exp
-
-    # When the generator is our own lagged Fibonacci, inline its recurrence
-    # into the move loop — the two method calls per attempted move are the
-    # single largest cost left.  The inlined draws are the exact draws the
-    # methods would produce (same rejection loop for randbelow, same 53-bit
-    # float for random); rng._index is written back after the walk so the
-    # generator state is indistinguishable from having called the methods.
-    inline_lfg = type(rng) is LaggedFibonacciRandom
-    if inline_lfg:
-        table = rng._table
-        idx = rng._index
-        kbits = n.bit_length()
-        shift = 64 - kbits
-        mask = (1 << 64) - 1
-        scale = 2.0 ** -53
-
-    # cdelta[i] = cut change of flipping vertex i, maintained incrementally:
-    # an *attempt* is then one list read instead of a neighbor scan, and an
-    # accepted flip updates only the mover's neighborhood.
-    cdelta = [-g for g in csr_move_gains(csr, sides)]
-
-    while not schedule.is_frozen(stale, temperature):
-        if temperatures >= schedule.max_temperatures:
-            break
-        accepted_here = 0
-        attempted_here = 0
-        improved_best = False
-        for _ in range(moves_per_temp):
-            if cutoff is not None and accepted_here >= cutoff:
-                break  # Johnson's cutoff: this temperature has equilibrated
-            attempted_here += 1
-            if inline_lfg:
-                while True:  # x[n] = x[n-24] + x[n-55] mod 2^64, reject >= n
-                    value = (table[idx - 24] + table[idx - 55]) & mask
-                    table[idx] = value
-                    idx += 1
-                    if idx == 55:
-                        idx = 0
-                    i = value >> shift
-                    if i < n:
-                        break
-            else:
-                i = randbelow(n)
-            side_v = sides[i]
-            cut_delta = cdelta[i]
-            wv = vweights[i]
-            new_diff = diff - 2 * wv if side_v == 0 else diff + 2 * wv
-            delta = cut_delta + alpha * (new_diff * new_diff - diff * diff)
-            if delta > 0:
-                if inline_lfg:
-                    value = (table[idx - 24] + table[idx - 55]) & mask
-                    table[idx] = value
-                    idx += 1
-                    if idx == 55:
-                        idx = 0
-                    u01 = (value >> 11) * scale
-                else:
-                    u01 = rand()
-                if u01 >= exp(-delta / temperature):
-                    continue
-            sides[i] = 1 - side_v
-            cut += cut_delta
-            diff = new_diff
-            accepted_here += 1
-            cdelta[i] = -cut_delta
-            row = nbrs[i]
-            if wts is None:
-                for u in row:
-                    # u and i were same-side before the flip iff
-                    # sides[u] == side_v; that edge is now cut.
-                    cdelta[u] += -2 if sides[u] == side_v else 2
-            else:
-                wrow = wts[i]
-                for slot, u in enumerate(row):
-                    w2 = 2 * wrow[slot]
-                    cdelta[u] += -w2 if sides[u] == side_v else w2
-            if abs(diff) <= balance_tolerance and (
-                best_cut is None or cut < best_cut
-            ):
-                best_cut = cut
-                best_sides = sides.copy()
-                improved_best = True
-        attempted += attempted_here
-        accepted += accepted_here
-        ratio = accepted_here / attempted_here if attempted_here else 0.0
-        if record_trace:
-            trace.append((temperature, ratio, cut))
-        temperatures += 1
-        if ratio < schedule.min_acceptance and not improved_best:
-            stale += 1
-        else:
-            stale = 0
-        temperature = schedule.next_temperature(temperature)
-
-    if inline_lfg:
-        rng._index = idx
-
-    if best_sides is None:
+    if walk.best_sides is None:
         best_assignment = rebalance(
-            graph, csr.assignment_dict(sides), balance_tolerance, rng
+            graph, csr.assignment_dict(walk.sides), balance_tolerance, rng
         )
     else:
-        best_assignment = csr.assignment_dict(best_sides)
+        best_assignment = csr.assignment_dict(walk.best_sides)
 
     return SAResult(
         bisection=Bisection(graph, best_assignment),
         initial_cut=initial_cut,
-        temperatures=temperatures,
-        moves_attempted=attempted,
-        moves_accepted=accepted,
-        final_temperature=temperature,
-        initial_temperature=initial_temperature,
-        temperature_trace=trace,
+        temperatures=walk.temperatures,
+        moves_attempted=walk.attempted,
+        moves_accepted=walk.accepted,
+        final_temperature=walk.final_temperature,
+        initial_temperature=temperature,
+        temperature_trace=walk.trace,
         balance_tolerance=balance_tolerance,
         initial_imbalance=initial_imbalance,
     )
@@ -411,9 +304,11 @@ def _simulated_annealing_impl(
     else:
         assignment = random_assignment(graph, rng)
 
-    if neighborhood == "flip" and csr_enabled():
+    backend = kernel_backend()
+    if neighborhood == "flip" and backend != "dict":
         return _anneal_flip_csr(
-            graph, assignment, rng, schedule, cost, balance_tolerance, record_trace
+            graph, assignment, rng, schedule, cost, balance_tolerance, record_trace,
+            backend,
         )
 
     vertices = list(graph.vertices())

@@ -43,8 +43,11 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from operator import mul
 
-from ..graphs.csr import CSRGraph, csr_enabled, csr_move_gains, csr_view
+from ..graphs.csr import CSRGraph, csr_view
 from ..graphs.graph import Graph
+from ..kernels import kernel_backend
+from ..kernels.gains import move_gains
+from ..kernels.kl import kl_sequence_multi, kl_sequence_single
 from ..obs import counter, span
 from ..rng import resolve_rng
 from .bisection import Bisection, cut_weight
@@ -287,386 +290,21 @@ def _accumulate_pass_stats(
 
 # -- CSR kernel --------------------------------------------------------------------
 #
-# Heap entries are single ints: key = (B - gain) * n + rank, where B is the
-# graph's maximum weighted degree (a bound on |gain| at all times) and rank
-# orders ids by label.  Ascending int order is exactly ascending (-gain,
-# label) tuple order, so pops agree with the dict kernel entry for entry —
-# at one machine-int comparison per sift instead of a tuple compare.
-#
-# Selection only has to *return* the same pair as the dict kernel, not pop
-# the same entries: the chosen pair is a pure function of the current
-# gains/locked state (argmax in (gain desc, label asc) scan order with
-# strict improvement), and stale heap entries are inert until discarded.
-# That freedom lets this kernel check the g_ab <= g_a + g_b bound *before*
-# pulling another candidate, so on sparse graphs — where the two top
-# candidates are usually not adjacent and therefore already optimal — a
-# selection costs exactly two pops and one adjacency probe.
-
-
-def _kl_sequence_csr_single(
-    csr: CSRGraph, sides: list[int], gains: list[int], stats: dict | None = None
-):
-    """Pair sequence for the single-weight-class case, fully inlined."""
-    n = csr.num_vertices
-    rank = csr.rank
-    by_rank = csr.by_rank
-    nbrs = csr.neighbor_lists()
-    unit = csr.unit_edge_weights
-    wts = None if unit else csr.weight_lists()
-    adj_maps = csr.adjacency_maps()
-    B = csr.max_weighted_degree
-
-    heap0: list[int] = []
-    heap1: list[int] = []
-    for i in range(n):
-        (heap1 if sides[i] else heap0).append((B - gains[i]) * n + rank[i])
-    heap0.sort()  # a sorted list is a valid heap; cheaper than n sifts
-    heap1.sort()
-    pend0: deque = deque()
-    pend1: deque = deque()
-
-    locked = bytearray(n)
-    sequence: list[tuple[int, int, int]] = []  # (a, b, pair_gain)
-    push = heappush
-    pop = heappop
-    stale = 0  # obs only: superseded entries discarded on the slow path
-    candidates = 0
-    prune_hits = 0
-
-    while True:
-        # Top unlocked, non-stale candidate on each side (heap/pending merge).
-        while True:
-            if pend0:
-                ak = pop(heap0) if heap0 and heap0[0] < pend0[0] else pend0.popleft()
-            elif heap0:
-                ak = pop(heap0)
-            else:
-                ak = -1
-                break
-            va = by_rank[ak % n]
-            if not locked[va] and gains[va] == B - ak // n:
-                break
-            stale += 1
-        if ak < 0:
-            break
-        while True:
-            if pend1:
-                bk = pop(heap1) if heap1 and heap1[0] < pend1[0] else pend1.popleft()
-            elif heap1:
-                bk = pop(heap1)
-            else:
-                bk = -1
-                break
-            vb = by_rank[bk % n]
-            if not locked[vb] and gains[vb] == B - bk // n:
-                break
-            stale += 1
-        if bk < 0:
-            pend0.appendleft(ak)
-            break
-
-        gain_a = B - ak // n
-        top_b_gain = B - bk // n
-        best_gain = gain_a + top_b_gain - 2 * adj_maps[va].get(vb, 0)
-        best_ak, best_bk = ak, bk
-        a_keys = [ak]
-        b_keys = [bk]
-
-        if best_gain < gain_a + top_b_gain:
-            # Top pair is adjacent: scan in (g_a desc, g_b desc) order until
-            # the g_a + g_b upper bound can no longer beat the best pair.
-            i = 0
-            while True:
-                if i == len(a_keys):
-                    if B - a_keys[-1] // n + top_b_gain <= best_gain:
-                        break
-                    while True:  # pull the next a candidate
-                        if pend0:
-                            ak = (
-                                pop(heap0)
-                                if heap0 and heap0[0] < pend0[0]
-                                else pend0.popleft()
-                            )
-                        elif heap0:
-                            ak = pop(heap0)
-                        else:
-                            ak = -1
-                            break
-                        v = by_rank[ak % n]
-                        if not locked[v] and gains[v] == B - ak // n:
-                            break
-                        stale += 1
-                    if ak < 0:
-                        break
-                    a_keys.append(ak)
-                ak = a_keys[i]
-                gain_a = B - ak // n
-                if gain_a + top_b_gain <= best_gain:
-                    break
-                adj_a = adj_maps[by_rank[ak % n]]
-                j = 0
-                while True:
-                    if j == len(b_keys):
-                        if gain_a + (B - b_keys[-1] // n) <= best_gain:
-                            break
-                        while True:  # pull the next b candidate
-                            if pend1:
-                                bk = (
-                                    pop(heap1)
-                                    if heap1 and heap1[0] < pend1[0]
-                                    else pend1.popleft()
-                                )
-                            elif heap1:
-                                bk = pop(heap1)
-                            else:
-                                bk = -1
-                                break
-                            v = by_rank[bk % n]
-                            if not locked[v] and gains[v] == B - bk // n:
-                                break
-                            stale += 1
-                        if bk < 0:
-                            break
-                        b_keys.append(bk)
-                    bk = b_keys[j]
-                    upper = gain_a + B - bk // n
-                    if upper <= best_gain:
-                        break
-                    pair_gain = upper - 2 * adj_a.get(by_rank[bk % n], 0)
-                    if pair_gain > best_gain:
-                        best_gain, best_ak, best_bk = pair_gain, ak, bk
-                    j += 1
-                i += 1
-
-        candidates += len(a_keys) + len(b_keys)
-        if len(a_keys) + len(b_keys) == 2:
-            prune_hits += 1
-        if len(a_keys) > 1 or a_keys[0] != best_ak:
-            pend0.extendleft(k for k in reversed(a_keys) if k != best_ak)
-        if len(b_keys) > 1 or b_keys[0] != best_bk:
-            pend1.extendleft(k for k in reversed(b_keys) if k != best_bk)
-
-        a = by_rank[best_ak % n]
-        b = by_rank[best_bk % n]
-        locked[a] = locked[b] = 1
-        sequence.append((a, b, best_gain))
-
-        for moved in (a, b):
-            side_moved = sides[moved]
-            row = nbrs[moved]
-            if unit:
-                for u in row:
-                    if locked[u]:
-                        continue
-                    g = gains[u] + (2 if sides[u] == side_moved else -2)
-                    gains[u] = g
-                    push(heap1 if sides[u] else heap0, (B - g) * n + rank[u])
-            else:
-                wrow = wts[moved]
-                for slot, u in enumerate(row):
-                    if locked[u]:
-                        continue
-                    w2 = 2 * wrow[slot]
-                    g = gains[u] + (w2 if sides[u] == side_moved else -w2)
-                    gains[u] = g
-                    push(heap1 if sides[u] else heap0, (B - g) * n + rank[u])
-
-    if stats is not None:
-        _accumulate_pass_stats(
-            stats,
-            selections=len(sequence),
-            stale=stale,
-            candidates=candidates,
-            prune_hits=prune_hits,
-        )
-    return sequence
-
-
-class _CSRSelectState:
-    __slots__ = ("heaps", "pending")
-
-    def __init__(self) -> None:
-        self.heaps: tuple[list[int], list[int]] = ([], [])
-        self.pending: tuple[deque, deque] = (deque(), deque())
-
-
-def _kl_sequence_csr_multi(
-    csr: CSRGraph, sides: list[int], gains: list[int], stats: dict | None = None
-):
-    """Pair sequence with per-vertex-weight classes (contracted graphs)."""
-    n = csr.num_vertices
-    rank = csr.rank
-    by_rank = csr.by_rank
-    nbrs = csr.neighbor_lists()
-    unit = csr.unit_edge_weights
-    wts = None if unit else csr.weight_lists()
-    adj_maps = csr.adjacency_maps()
-    vweights = csr.vertex_weight_list()
-    B = csr.max_weighted_degree
-
-    states: dict[int, _CSRSelectState] = {}
-    for i in range(n):
-        state = states.setdefault(vweights[i], _CSRSelectState())
-        state.heaps[sides[i]].append((B - gains[i]) * n + rank[i])
-    for state in states.values():
-        state.heaps[0].sort()
-        state.heaps[1].sort()
-
-    locked = bytearray(n)
-    sequence: list[tuple[int, int, int]] = []
-    stale = 0  # obs only, as in the single-class kernel
-    candidates = 0
-    prune_hits = 0
-
-    def next_key(state: _CSRSelectState, side: int) -> int:
-        """Next unlocked, non-stale packed key on ``side``, or -1."""
-        nonlocal stale
-        heap = state.heaps[side]
-        pend = state.pending[side]
-        while True:
-            if pend:
-                key = heappop(heap) if heap and heap[0] < pend[0] else pend.popleft()
-            elif heap:
-                key = heappop(heap)
-            else:
-                return -1
-            v = by_rank[key % n]
-            if not locked[v] and gains[v] == B - key // n:
-                return key
-            stale += 1
-
-    def select_pair(state: _CSRSelectState):
-        nonlocal candidates, prune_hits
-        ak = next_key(state, 0)
-        if ak < 0:
-            return None
-        bk = next_key(state, 1)
-        if bk < 0:
-            state.pending[0].appendleft(ak)
-            candidates += 1
-            return None
-
-        gain_a = B - ak // n
-        top_b_gain = B - bk // n
-        best_gain = gain_a + top_b_gain - 2 * adj_maps[by_rank[ak % n]].get(
-            by_rank[bk % n], 0
-        )
-        best_ak, best_bk = ak, bk
-        a_keys = [ak]
-        b_keys = [bk]
-
-        if best_gain < gain_a + top_b_gain:
-            i = 0
-            while True:
-                if i == len(a_keys):
-                    if B - a_keys[-1] // n + top_b_gain <= best_gain:
-                        break
-                    ak = next_key(state, 0)
-                    if ak < 0:
-                        break
-                    a_keys.append(ak)
-                ak = a_keys[i]
-                gain_a = B - ak // n
-                if gain_a + top_b_gain <= best_gain:
-                    break
-                adj_a = adj_maps[by_rank[ak % n]]
-                j = 0
-                while True:
-                    if j == len(b_keys):
-                        if gain_a + (B - b_keys[-1] // n) <= best_gain:
-                            break
-                        bk = next_key(state, 1)
-                        if bk < 0:
-                            break
-                        b_keys.append(bk)
-                    bk = b_keys[j]
-                    upper = gain_a + B - bk // n
-                    if upper <= best_gain:
-                        break
-                    pair_gain = upper - 2 * adj_a.get(by_rank[bk % n], 0)
-                    if pair_gain > best_gain:
-                        best_gain, best_ak, best_bk = pair_gain, ak, bk
-                    j += 1
-                i += 1
-
-        candidates += len(a_keys) + len(b_keys)
-        if len(a_keys) + len(b_keys) == 2:
-            prune_hits += 1
-        state.pending[0].extendleft(k for k in reversed(a_keys) if k != best_ak)
-        state.pending[1].extendleft(k for k in reversed(b_keys) if k != best_bk)
-        return best_gain, best_ak, best_bk
-
-    while True:
-        best = None  # (gain, a_key, b_key, state)
-        for state in states.values():
-            selected = select_pair(state)
-            if selected is None:
-                continue
-            gain, ak, bk = selected
-            if best is None or gain > best[0]:
-                if best is not None:
-                    # Un-choose the previous class's pair: push its pair back.
-                    _, pak, pbk, pstate = best
-                    heappush(pstate.heaps[0], pak)
-                    heappush(pstate.heaps[1], pbk)
-                best = (gain, ak, bk, state)
-            else:
-                heappush(state.heaps[0], ak)
-                heappush(state.heaps[1], bk)
-        if best is None:
-            break
-
-        gain, ak, bk, _state = best
-        a = by_rank[ak % n]
-        b = by_rank[bk % n]
-        locked[a] = locked[b] = 1
-        sequence.append((a, b, gain))
-
-        for moved in (a, b):
-            side_moved = sides[moved]
-            row = nbrs[moved]
-            if unit:
-                for u in row:
-                    if locked[u]:
-                        continue
-                    g = gains[u] + (2 if sides[u] == side_moved else -2)
-                    gains[u] = g
-                    heappush(
-                        states[vweights[u]].heaps[sides[u]], (B - g) * n + rank[u]
-                    )
-            else:
-                wrow = wts[moved]
-                for slot, u in enumerate(row):
-                    if locked[u]:
-                        continue
-                    w2 = 2 * wrow[slot]
-                    g = gains[u] + (w2 if sides[u] == side_moved else -w2)
-                    gains[u] = g
-                    heappush(
-                        states[vweights[u]].heaps[sides[u]], (B - g) * n + rank[u]
-                    )
-
-    if stats is not None:
-        _accumulate_pass_stats(
-            stats,
-            selections=len(sequence),
-            stale=stale,
-            candidates=candidates,
-            prune_hits=prune_hits,
-        )
-    return sequence
+# The packed-key selection kernels live in :mod:`repro.kernels.kl`; this
+# module owns the pass framing (gain init, best-prefix application) and
+# the backend dispatch.
 
 
 def _kl_pass_csr(
-    csr: CSRGraph, assignment: dict, stats: dict | None = None
+    csr: CSRGraph, assignment: dict, stats: dict | None, backend: str
 ) -> tuple[int, int]:
     """One KL pass over the CSR arrays; decision-identical to ``_kl_pass_dict``."""
     sides = csr.sides_list(assignment)
-    gains = csr_move_gains(csr, sides)
+    gains = move_gains(csr, sides, backend)
     if csr.unit_vertex_weights or len(set(csr.vertex_weight_list())) == 1:
-        sequence = _kl_sequence_csr_single(csr, sides, gains, stats)
+        sequence = kl_sequence_single(csr, sides, gains, stats)
     else:
-        sequence = _kl_sequence_csr_multi(csr, sides, gains, stats)
+        sequence = kl_sequence_multi(csr, sides, gains, stats)
 
     best_total = 0
     best_k = 0
@@ -700,10 +338,11 @@ def kl_pass(
     both kernels make identical decisions, so the choice never changes
     the result.
     """
-    if csr_enabled():
+    backend = kernel_backend()
+    if backend != "dict":
         csr = csr_view(graph)
         if csr.rank is not None:
-            return _kl_pass_csr(csr, assignment, stats)
+            return _kl_pass_csr(csr, assignment, stats, backend)
     return _kl_pass_dict(graph, assignment, stats)
 
 
@@ -729,7 +368,7 @@ def kernighan_lin(
     else:
         assignment = random_assignment(graph, resolve_rng(rng))
 
-    if csr_enabled():
+    if kernel_backend() != "dict":
         csr_view(graph)  # compile once up front; cut_weight reuses it
 
     initial_cut = cut_weight(graph, assignment)

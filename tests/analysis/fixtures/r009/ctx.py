@@ -1,0 +1,8 @@
+"""R009 pass direction: context-manager ownership unlinks in __exit__."""
+
+from repro.graphs.shm import SharedGraphSegment
+
+
+def export_scoped(graph):
+    with SharedGraphSegment.create(graph) as segment:
+        return segment.graph()

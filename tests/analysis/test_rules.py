@@ -90,10 +90,23 @@ class TestR008PayloadRoundTrip:
         assert "'seconds'" in messages and "'swaps'" in messages
 
 
+class TestR009ShmUnlink:
+    def test_both_directions(self, lint_fixture):
+        findings = lint_fixture("r009", rule="R009")
+        bad, good = split(findings)
+        assert good == []
+        # Owner semantics: `with SharedGraphSegment.create(...)` unlinks
+        # in __exit__, so context-managed creates carry no finding.
+        assert not any(f.path == "ctx.py" for f in findings)
+        assert len(bad) == 2
+        assert {f.context for f in bad} == {"export", "scratch"}
+        assert all("unlink" in f.message for f in bad)
+
+
 class TestRuleRegistry:
     def test_ids_are_unique_and_sequential(self, lint_fixture):
         ids = [cls.id for cls in ALL_RULES]
-        assert ids == [f"R00{i}" for i in range(1, 9)]
+        assert ids == [f"R00{i}" for i in range(1, 10)]
 
     def test_every_rule_has_metadata(self, lint_fixture):
         for rule in default_rules():

@@ -55,16 +55,34 @@ class TestMeasure:
         assert snapshot["size"] == 64
         assert snapshot["ok"] is True
         assert len(snapshot["cases"]) == 2
+        assert "array" in snapshot["backends"] and "dict" in snapshot["backends"]
         for case in snapshot["cases"]:
             assert set(case["algorithms"]) == set(PERF_ALGORITHMS)
             for cell in case["algorithms"].values():
                 assert cell["cuts_match"] is True
-                assert cell["csr_seconds"] > 0
+                assert cell["array_seconds"] > 0
                 assert cell["dict_seconds"] > 0
                 assert cell["speedup"] == pytest.approx(
-                    cell["dict_seconds"] / cell["csr_seconds"]
+                    cell["dict_seconds"] / cell["array_seconds"]
                 )
                 assert cell["moves"] >= 0
+                if "numpy" in snapshot["backends"]:
+                    assert cell["numpy_seconds"] > 0
+                    assert cell["speedup_numpy"] == pytest.approx(
+                        cell["dict_seconds"] / cell["numpy_seconds"]
+                    )
+
+    def test_streaming_case_included_on_request(self):
+        snapshot = _tiny_snapshot(algorithms=("kl",), streaming=True)
+        stream = snapshot["streaming"]
+        assert stream["cuts_match"] is True
+        assert stream["shm_exports"] >= 1
+        assert stream["worker_csr_compiles"] == 0
+        assert stream["replicas"] == len(stream["cuts"])
+        assert "streaming" in render_snapshot(snapshot)
+
+    def test_streaming_excluded_below_floor_by_default(self):
+        assert "streaming" not in _tiny_snapshot(algorithms=("kl",))
 
     def test_algorithm_subset(self):
         snapshot = _tiny_snapshot(algorithms=("kl",))
@@ -94,6 +112,18 @@ class TestSnapshotIO:
         path.write_text(json.dumps({"schema": 999, "size": 10, "cases": []}))
         with pytest.raises(ValueError, match="schema"):
             load_snapshot(str(path))
+
+    def test_schema1_baselines_still_load_and_diff(self, tmp_path):
+        # Committed BENCH_<n>.json files predate the per-backend columns;
+        # they must keep working as --check baselines.
+        legacy = _synthetic({"kl": 2.0})
+        legacy["schema"] = 1
+        path = tmp_path / "BENCH_500.json"
+        path.write_text(json.dumps(legacy))
+        loaded = load_snapshot(str(path))
+        report = diff_snapshots(loaded, _synthetic({"kl": 2.0}))
+        assert report["ok"]
+        assert "Gbreg" in render_snapshot(loaded)
 
 
 def _synthetic(speedups):

@@ -135,3 +135,44 @@ class TestWorkerThreads:
         runner.step()
         kinds = [e.kind for e in telemetry.events]
         assert kinds == ["job_queued", "job_start", "job_finish"]
+
+
+class TestSharedGraphHandles:
+    """submit() accepts shm segments and by-name refs in place of graphs."""
+
+    def test_segment_handle_runs_against_the_original_graph(self, graph):
+        from repro.engine import execute_job
+        from repro.graphs.shm import SharedGraphSegment
+
+        direct = execute_job(_job(), graph)
+        with SharedGraphSegment.create(graph) as segment:
+            runner = JobRunner(workers=0)
+            handle = runner.submit(_job(), segment)
+            runner.step()
+        assert handle.result.cut == direct.cut
+        assert handle.result.side0 == direct.side0
+
+    def test_ref_attaches_once_and_detaches_on_close(self, graph):
+        from repro.engine import execute_job
+        from repro.graphs.shm import SharedGraphSegment, ShmGraphRef
+
+        direct = execute_job(_job(), graph)
+        telemetry = Telemetry()
+        with SharedGraphSegment.create(graph) as segment:
+            ref = ShmGraphRef(segment.name)
+            runner = JobRunner(workers=0, telemetry=telemetry)
+            handles = [runner.submit(_job(s, f"j{s}"), ref) for s in range(3)]
+            for _ in handles:
+                runner.step()
+            runner.close()
+        assert telemetry.count("shm_attach") == 1
+        assert all(h.result.ok for h in handles)
+        assert handles[0].result.cut == direct.cut
+        assert handles[0].result.side0 == direct.side0
+
+    def test_stale_ref_raises_at_submit(self, graph):
+        from repro.graphs.shm import ShmAttachError, ShmGraphRef
+
+        runner = JobRunner(workers=0)
+        with pytest.raises(ShmAttachError):
+            runner.submit(_job(), ShmGraphRef("psm_repro_gone"))

@@ -1,0 +1,95 @@
+"""SA replica ensembles and temperature chains: determinism + protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.job import JobResult
+from repro.engine.replicas import (
+    ReplicaSet,
+    _assemble,
+    sa_replicas,
+    sa_temperature_chain,
+)
+from repro.engine.telemetry import Telemetry
+from repro.engine.executor import Engine
+from repro.graphs.generators import gbreg
+from repro.rng import LaggedFibonacciRandom
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gbreg(40, 4, 3, LaggedFibonacciRandom(3)).graph
+
+
+def _result(job_id, cut, status="ok", seconds=1.0):
+    return JobResult(
+        job_id=job_id, graph_key="graph", algorithm="sa", seed=0,
+        status=status, cut=cut, side0=(), seconds=seconds, attempts=1,
+        error=None if status == "ok" else "boom",
+    )
+
+
+class TestReplicaSet:
+    def test_best_is_min_cut_first_index_on_ties(self):
+        results = (_result("r0", 9), _result("r1", 7), _result("r2", 7))
+        replica_set = ReplicaSet(results=results, best=min(results, key=lambda r: r.cut))
+        assert replica_set.best.job_id == "r1"
+        assert replica_set.cuts == (9, 7, 7)
+        assert replica_set.seconds == pytest.approx(3.0)
+
+    def test_assemble_raises_on_failure(self):
+        with pytest.raises(RuntimeError, match="1 of 2 replicas failed"):
+            _assemble([_result("r0", 9), _result("r1", None, status="failed")])
+
+
+class TestSaReplicas:
+    def test_worker_count_does_not_change_results(self, graph):
+        serial = sa_replicas(graph, 4, seed=5, size_factor=1)
+        shared = sa_replicas(graph, 4, seed=5, size_factor=1, jobs=2)
+        assert serial.cuts == shared.cuts
+        assert [r.side0 for r in serial.results] == [r.side0 for r in shared.results]
+        assert serial.best.cut == min(serial.cuts)
+
+    def test_adding_replicas_preserves_existing_seeds(self, graph):
+        three = sa_replicas(graph, 3, seed=5, size_factor=1)
+        four = sa_replicas(graph, 4, seed=5, size_factor=1)
+        assert [r.seed for r in four.results[:3]] == [r.seed for r in three.results]
+        assert four.cuts[:3] == three.cuts
+
+    def test_replica_count_validated(self, graph):
+        with pytest.raises(ValueError, match="at least one replica"):
+            sa_replicas(graph, 0)
+
+    def test_shared_engine_exports_graph_once(self, graph):
+        telemetry = Telemetry()
+        engine = Engine(jobs=2, telemetry=telemetry)
+        sa_replicas(graph, 4, seed=5, size_factor=1, engine=engine)
+        assert telemetry.count("shm_export") == 1
+        assert telemetry.count("shm_unlink") == 1
+
+
+class TestTemperatureChain:
+    def test_worker_count_does_not_change_results(self, graph):
+        serial = sa_temperature_chain(graph, [1, 2], replicas=2, seed=7)
+        shared = sa_temperature_chain(graph, [1, 2], replicas=2, seed=7, jobs=2)
+        assert [c.size_factor for c in serial] == [1, 2]
+        for a, b in zip(serial, shared):
+            assert a.size_factor == b.size_factor
+            assert a.replicas.cuts == b.replicas.cuts
+
+    def test_single_batch_single_export(self, graph):
+        telemetry = Telemetry()
+        engine = Engine(jobs=2, telemetry=telemetry)
+        cells = sa_temperature_chain(
+            graph, [1, 2, 4], replicas=2, seed=7, engine=engine
+        )
+        assert telemetry.count("batch_start") == 1
+        assert telemetry.count("shm_export") == 1
+        assert len(cells) == 3 and all(len(c.replicas.results) == 2 for c in cells)
+
+    def test_inputs_validated(self, graph):
+        with pytest.raises(ValueError, match="size_factor"):
+            sa_temperature_chain(graph, [])
+        with pytest.raises(ValueError, match="at least one replica"):
+            sa_temperature_chain(graph, [1], replicas=0)

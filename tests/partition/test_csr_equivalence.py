@@ -17,12 +17,14 @@ from repro.core.matching import random_maximal_matching
 from repro.core.pipeline import ckl, csa
 from repro.graphs.generators import gbreg, gnp_with_degree
 from repro.graphs.graph import Graph
+from repro.kernels import numpy_available
 from repro.partition.annealing import AnnealingSchedule, simulated_annealing
 from repro.partition.fm import fiduccia_mattheyses
 from repro.partition.kl import kernighan_lin
 from repro.rng import LaggedFibonacciRandom
 
 SCHEDULE = AnnealingSchedule(size_factor=2, max_temperatures=60)
+BACKENDS = ("dict", "array") + (("numpy",) if numpy_available() else ())
 
 
 def _gbreg_graph(seed):
@@ -144,6 +146,53 @@ class TestEquivalenceMatrix:
         assert d.projected_cut == c.projected_cut
         _assert_sa_equal(d.coarse_result, c.coarse_result)
         _assert_sa_equal(d.final_result, c.final_result)
+
+
+def _run_backends(monkeypatch, build, seed, run):
+    """Run ``run(graph, seed)`` once per kernel backend, in BACKENDS order."""
+    monkeypatch.delenv("REPRO_NO_CSR", raising=False)
+    results = []
+    for backend in BACKENDS:
+        monkeypatch.setenv("REPRO_KERNEL", backend)
+        results.append(run(build(seed), seed))
+    return results
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("seed", SEEDS)
+class TestKernelBackendMatrix:
+    """dict / array / numpy kernel backends: one answer, N engines.
+
+    ``REPRO_KERNEL`` picks the backend explicitly (the REPRO_NO_CSR
+    matrix above only exercises dict vs the default); every backend must
+    agree on the full result object, counters and traces included.
+    """
+
+    def test_kl(self, monkeypatch, family, seed):
+        first, *rest = _run_backends(
+            monkeypatch, FAMILIES[family], seed,
+            lambda g, s: kernighan_lin(g, rng=s),
+        )
+        for other in rest:
+            _assert_kl_like_equal(first, other)
+            assert first.swaps == other.swaps
+
+    def test_fm(self, monkeypatch, family, seed):
+        first, *rest = _run_backends(
+            monkeypatch, FAMILIES[family], seed,
+            lambda g, s: fiduccia_mattheyses(g, rng=s),
+        )
+        for other in rest:
+            _assert_kl_like_equal(first, other)
+            assert first.moves == other.moves
+
+    def test_sa(self, monkeypatch, family, seed):
+        first, *rest = _run_backends(
+            monkeypatch, FAMILIES[family], seed,
+            lambda g, s: simulated_annealing(g, rng=s, schedule=SCHEDULE),
+        )
+        for other in rest:
+            _assert_sa_equal(first, other)
 
 
 @pytest.mark.parametrize("family", sorted(FAMILIES))
