@@ -6,7 +6,7 @@ dynamically by the test suites.  This package enforces them *statically*:
 a pure-:mod:`ast` pass over ``src/repro`` with a project model
 (:mod:`~repro.analysis.project`), a rule engine with per-rule scopes and
 allow-zones (:mod:`~repro.analysis.config`,
-:mod:`~repro.analysis.rules`), and a ruleset R001-R008 encoding the
+:mod:`~repro.analysis.rules`), and a ruleset R001-R010 encoding the
 contracts the violating code would otherwise only break at run time
 (:mod:`~repro.analysis.ruleset`).
 

@@ -1,4 +1,4 @@
-"""The repo's invariant ruleset, R001-R009.
+"""The repo's invariant ruleset, R001-R010.
 
 Each rule encodes one contract the dynamic test suites already enforce
 at run time; the linter proves the violating code was never written.
@@ -8,6 +8,7 @@ See ``docs/static-analysis.md`` for the catalog with rationale.
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from .project import ModuleInfo, ProjectModel, qualified_call_name, self_method_calls
@@ -543,6 +544,109 @@ class R009ShmUnlinkDiscipline(Rule):
         return None
 
 
+# R010: the observability naming contract.  Metric names are Prometheus
+# snake_case; the suffix encodes the metric's semantics (`_total` marks a
+# monotonic counter, `_seconds`/`_bytes`/`_ratio` mark a histogram's unit).
+# Span names are dotted lowercase paths (`kl.pass`, `engine.batch`).
+_SNAKE_NAME_RE = re.compile(r"^[a-z][a-z0-9]*(?:_[a-z0-9]+)*$")
+_SPAN_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)*$")
+_HISTOGRAM_UNIT_SUFFIXES = ("_seconds", "_bytes", "_ratio")
+_METRIC_FACTORY_ATTRS = frozenset({"counter", "gauge", "histogram", "span"})
+
+
+class R010MetricNamingContract(Rule):
+    id = "R010"
+    name = "metric-naming-contract"
+    severity = Severity.ERROR
+    description = (
+        "Metric/span names must follow the naming contract (snake_case; "
+        "counters end in `_total`, histograms in a unit suffix, spans are "
+        "dotted lowercase), and histogram bucket sequences must be declared "
+        "outside hot loops."
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectModel) -> Iterator[Finding]:
+        for node, context, depth in scoped_nodes(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = self._factory_kind(node, module)
+            if kind is None:
+                continue
+            name = self._literal_name(node)
+            if name is not None:
+                problem = self._name_problem(kind, name)
+                if problem is not None:
+                    yield self.finding(
+                        module, node,
+                        f"{kind} name {name!r} {problem}",
+                        context,
+                    )
+            if kind == "histogram" and depth > 0:
+                buckets = self._buckets_arg(node)
+                if buckets is not None and self._is_inline_sequence(buckets):
+                    yield self.finding(
+                        module, node,
+                        "histogram bucket sequence built inside a loop; "
+                        "declare the buckets tuple once at module scope",
+                        context,
+                    )
+
+    @staticmethod
+    def _factory_kind(node: ast.Call, module: ModuleInfo) -> str | None:
+        """"counter"/"gauge"/"histogram"/"span" when this call creates one."""
+        origin = qualified_call_name(node.func, module.aliases)
+        if _is_obs_origin(origin):
+            return origin.rpartition(".")[2]
+        # Registry-method form: REGISTRY.counter(...), registry.histogram(...)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _METRIC_FACTORY_ATTRS
+            and node.func.attr != "span"
+        ):
+            return node.func.attr
+        return None
+
+    @staticmethod
+    def _literal_name(node: ast.Call) -> str | None:
+        if node.args and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, str):
+                return value
+        return None
+
+    @staticmethod
+    def _name_problem(kind: str, name: str) -> str | None:
+        if kind == "span":
+            if not _SPAN_NAME_RE.match(name):
+                return "is not a dotted lowercase path (e.g. `kl.pass`)"
+            return None
+        if not _SNAKE_NAME_RE.match(name):
+            return "is not snake_case"
+        if kind == "counter" and not name.endswith("_total"):
+            return "is a counter and must end in `_total`"
+        if kind == "gauge" and name.endswith("_total"):
+            return "is a gauge and must not end in `_total` (counter suffix)"
+        if kind == "histogram" and not name.endswith(_HISTOGRAM_UNIT_SUFFIXES):
+            suffixes = "/".join(_HISTOGRAM_UNIT_SUFFIXES)
+            return f"is a histogram and must end in a unit suffix ({suffixes})"
+        return None
+
+    @staticmethod
+    def _buckets_arg(node: ast.Call) -> ast.expr | None:
+        for kw in node.keywords:
+            if kw.arg == "buckets":
+                return kw.value
+        if len(node.args) >= 2:
+            return node.args[1]
+        return None
+
+    @staticmethod
+    def _is_inline_sequence(node: ast.expr) -> bool:
+        return isinstance(
+            node, (ast.List, ast.Tuple, ast.ListComp, ast.GeneratorExp)
+        )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     R001NoSharedRandom,
     R002NoWallClock,
@@ -553,6 +657,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     R007NoSwallowedExceptions,
     R008PayloadRoundTrip,
     R009ShmUnlinkDiscipline,
+    R010MetricNamingContract,
 )
 
 

@@ -301,6 +301,11 @@ def measure_streaming(
     attached zero-copy — and checks the cuts agree bit for bit.  The
     worker-side ``worker_csr_compiles`` counters prove the compile-once
     contract (they must sum to zero).
+
+    When instrumented (``REPRO_OBS``), the snapshot also records
+    ``worker_slots`` — how many distinct worker processes shipped
+    ``engine_worker_jobs_total{worker=...}`` increments during the shared
+    run — proving the fleet attribution pipeline ran through the harness.
     """
     from ..engine.executor import Engine
     from ..engine.replicas import sa_replicas
@@ -316,11 +321,29 @@ def measure_streaming(
 
     telemetry = Telemetry()
     engine = Engine(jobs=jobs, telemetry=telemetry)
+    counters_before: dict[str, float] = {}
+    if obs_enabled():
+        from ..obs import REGISTRY
+
+        counters_before = dict(REGISTRY.snapshot()["counters"])
     start = time.perf_counter()
     shared = sa_replicas(
         graph, replicas, seed=seed, size_factor=sa_size_factor, engine=engine
     )
     shared_seconds = time.perf_counter() - start
+    worker_slots = 0
+    if obs_enabled():
+        from ..obs import REGISTRY
+        from ..obs.shipper import parse_series
+
+        slots: set[str] = set()
+        for series, value in REGISTRY.snapshot()["counters"].items():
+            name, labels = parse_series(series)
+            if name != "engine_worker_jobs_total" or "worker" not in labels:
+                continue
+            if value > counters_before.get(series, 0):
+                slots.add(labels["worker"])
+        worker_slots = len(slots)
     return {
         "label": f"Gbreg({two_n},{b},{_GBREG_DEGREE}) SA x{replicas}",
         "vertices": graph.num_vertices,
@@ -335,6 +358,7 @@ def measure_streaming(
         "worker_csr_compiles": sum(
             r.counters.get("worker_csr_compiles", 0) for r in shared.results
         ),
+        "worker_slots": worker_slots,
         "cuts": list(serial.cuts),
         "cuts_match": serial.cuts == shared.cuts,
     }

@@ -117,6 +117,12 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
         help="write a run ledger (counters, spans, env) after the command; "
         "'auto' content-addresses it next to the result cache",
     )
+    parser.add_argument(
+        "--profile", metavar="PATH",
+        help="sample this process during the command and write a "
+        "collapsed-stack profile (flamegraph.pl / speedscope format); "
+        "REPRO_PROFILE=1 opts in without the flag",
+    )
 
 
 def _add_engine_options(parser: argparse.ArgumentParser, cache: bool = True) -> None:
@@ -543,6 +549,50 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         else:
             print(render_ledger(ledger))
     return exit_code
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.timeline import (
+        export_chrome_trace,
+        read_event_records,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    try:
+        records = read_event_records(args.events)
+    except OSError as exc:
+        print(f"cannot read {args.events}: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print(f"{args.events}: no envelope records found", file=sys.stderr)
+        return 1
+    document = export_chrome_trace(records)
+    violations = validate_chrome_trace(document)
+    if violations:
+        for violation in violations:
+            print(f"trace: {violation}", file=sys.stderr)
+        return 1
+    other = document["otherData"]
+    lanes = sum(1 for e in document["traceEvents"] if e.get("ph") == "M")
+    path = write_chrome_trace(document, args.out)
+    print(
+        f"wrote {path} ({other['spans']} spans, {other['events']} events, "
+        f"{lanes} lane(s)) — load it at https://ui.perfetto.dev"
+    )
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.top import run_top
+
+    return run_top(
+        events=args.events,
+        url=args.url,
+        interval=args.interval,
+        once=args.once,
+        frames=args.frames,
+    )
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -1010,6 +1060,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.set_defaults(func=_cmd_stats)
 
+    trace = sub.add_parser(
+        "trace",
+        help="export a telemetry/span JSONL file as a Chrome trace "
+        "(Perfetto-loadable) timeline",
+    )
+    trace.add_argument("action", choices=["export"])
+    trace.add_argument(
+        "events",
+        help="JSONL file from --telemetry / --ledger runs (spans + engine events)",
+    )
+    trace.add_argument(
+        "--out", default="trace.json",
+        help="output trace path (default: trace.json)",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    top = sub.add_parser(
+        "top",
+        help="live TTY dashboard over a telemetry file or a served /metrics",
+    )
+    top.add_argument(
+        "events", nargs="?", default=None,
+        help="telemetry JSONL file a concurrent run is appending to",
+    )
+    top.add_argument(
+        "--url", help="poll this repro-bisect serve base URL instead of a file"
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh period in seconds (default: 1.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (no screen control; CI mode)",
+    )
+    top.add_argument(
+        "--frames", type=_positive_int, default=None,
+        help="stop after this many refreshes (default: until Ctrl-C)",
+    )
+    top.set_defaults(func=_cmd_top)
+
     check = sub.add_parser(
         "check",
         help="verify every registered algorithm against the invariant, "
@@ -1052,7 +1143,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="statically check the source tree against the determinism "
-        "and invariant ruleset (R001-R008)",
+        "and invariant ruleset (R001-R010)",
     )
     lint.add_argument(
         "--format", choices=["text", "json", "sarif"], default="text",
@@ -1288,21 +1379,52 @@ def main(argv: list[str] | None = None) -> int:
 def _dispatch(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     ledger_target = getattr(args, "ledger", None)
-    if ledger_target is None or getattr(args, "study_owns_ledger", False):
+    if getattr(args, "study_owns_ledger", False):
+        ledger_target = None  # study builds its own (kind "study") ledger
+    profile_target = getattr(args, "profile", None)
+
+    from .obs.profiler import maybe_profile, profiling_enabled
+
+    wants_profile = profile_target is not None or profiling_enabled()
+    if ledger_target is None and not wants_profile:
         return args.func(args)
 
-    from .obs import build_ledger, run_context, write_ledger
+    run = None
+    with maybe_profile(force=wants_profile) as profiler:
+        if ledger_target is None:
+            exit_code = args.func(args)
+        else:
+            from .obs import run_context
 
-    # The trace JSONL shares the engine telemetry file, so one tail shows
-    # both streams correlated by run_id.
-    with run_context(
-        jsonl_path=getattr(args, "telemetry", None),
-        workload={"command": args.command},
-    ) as run:
-        exit_code = args.func(args)
-    ledger = build_ledger(run, argv=list(argv) if argv is not None else sys.argv[1:])
-    path = write_ledger(ledger, None if ledger_target == "auto" else ledger_target)
-    print(f"wrote ledger {path}")
+            # The trace JSONL shares the engine telemetry file, so one tail
+            # shows both streams correlated by run_id.
+            with run_context(
+                jsonl_path=getattr(args, "telemetry", None),
+                workload={"command": args.command},
+            ) as run:
+                exit_code = args.func(args)
+
+    if profiler is not None and profile_target is not None:
+        path = profiler.write_collapsed(profile_target)
+        print(f"wrote profile {path} ({profiler.samples} samples @ {profiler.hz:g}Hz)")
+    if ledger_target is not None:
+        from .obs import build_ledger, write_ledger
+
+        ledger = build_ledger(
+            run, argv=list(argv) if argv is not None else sys.argv[1:]
+        )
+        if profiler is not None:
+            ledger["profile"] = profiler.summary()
+        path = write_ledger(ledger, None if ledger_target == "auto" else ledger_target)
+        print(f"wrote ledger {path}")
+    elif profiler is not None and profile_target is None:
+        # REPRO_PROFILE=1 with nowhere to put the profile: don't drop it
+        # silently, show the hottest leaves.
+        leaves = sorted(
+            profiler.leaf_totals().items(), key=lambda item: (-item[1], item[0])
+        )
+        for label, count in leaves[:10]:
+            print(f"profile: {count:6d}  {label}", file=sys.stderr)
     return exit_code
 
 

@@ -39,8 +39,9 @@ from typing import Any
 
 from ..graphs.graph import Graph, graph_fingerprint, vertex_token
 from ..graphs.shm import SharedGraphSegment, ShmAttachError, ShmGraphRef, shm_enabled
-from ..obs import counter, gauge, histogram, obs_enabled, span
+from ..obs import counter, current_run, gauge, histogram, obs_enabled, span
 from ..obs.clock import monotonic_time
+from ..obs.shipper import collect_shipment, merge_shipment
 from ..rng import LaggedFibonacciRandom
 from .cache import ResultCache, cache_key
 from .job import Job, JobResult
@@ -263,28 +264,39 @@ def _resolve_worker_graph(key: str) -> Any:
 def _worker_run(job: Job) -> JobResult:
     shared = isinstance(_WORKER_GRAPHS.get(job.graph_key), ShmGraphRef)
     compiles = getattr(counter("csr_compiles_total"), "value", 0)
-    try:
-        graph = _resolve_worker_graph(job.graph_key)
-    except ShmAttachError as exc:
-        return JobResult(
-            job_id=job.job_id,
-            graph_key=job.graph_key,
-            algorithm=job.algorithm_name(),
-            seed=job.seed,
-            status="failed",
-            cut=None,
-            side0=(),
-            seconds=0.0,
-            attempts=0,
-            error=f"{_SHM_ATTACH_PREFIX}{exc}",
-            tags=job.tags,
-        )
-    result = execute_job(job, graph)
+    # Everything this job does in the worker — shm attach included — is
+    # collected as a registry delta plus span records and shipped back on
+    # the result, so the parent's ledger covers the whole fleet.  Deltas
+    # (not absolutes) make this correct under both fork and spawn: a
+    # forked worker's inherited counter baselines cancel out.
+    shipment: dict[str, Any] = {}
+    with collect_shipment(shipment):
+        try:
+            graph = _resolve_worker_graph(job.graph_key)
+        except ShmAttachError as exc:
+            # No shipment on attach failure: the job reruns serially in
+            # the parent and would otherwise be double-counted.
+            return JobResult(
+                job_id=job.job_id,
+                graph_key=job.graph_key,
+                algorithm=job.algorithm_name(),
+                seed=job.seed,
+                status="failed",
+                cut=None,
+                side0=(),
+                seconds=0.0,
+                attempts=0,
+                error=f"{_SHM_ATTACH_PREFIX}{exc}",
+                tags=job.tags,
+            )
+        result = execute_job(job, graph)
     if shared:
         # Proof obligation for the compile-once contract: how many CSR
         # compiles this job triggered in its worker (should be zero).
         delta = getattr(counter("csr_compiles_total"), "value", 0) - compiles
         result.counters["worker_csr_compiles"] = delta
+    if shipment:
+        result = replace(result, obs=shipment)
     return result
 
 
@@ -507,6 +519,7 @@ class Engine:
                 self.telemetry.emit(
                     "pool_unavailable", error=f"{type(exc).__name__}: {exc}"
                 )
+                counter("engine_pool_unavailable_total").inc()
                 counter("engine_serial_fallbacks_total").inc()
                 self._release_segments(segments)
                 parallel = False
@@ -577,6 +590,39 @@ class Engine:
             segment.unlink()
             self.telemetry.emit("shm_unlink", graph_key=key, segment=segment.name)
 
+    def _absorb_shipment(
+        self, result: JobResult, slots: dict[int, int]
+    ) -> JobResult:
+        """Merge a worker result's observability shipment, then strip it.
+
+        The shipping worker's pid maps to a stable per-batch slot number
+        (first-seen order), which becomes the ``worker=<slot>`` label on
+        attributed series and the exporter's timeline lane.  Shipped span
+        records additionally land in the batch telemetry sink so a single
+        JSONL file feeds ``repro-bisect trace export``.
+        """
+        shipment = result.obs
+        if not shipment:
+            return result
+        pid = shipment.get("pid", 0)
+        slot = slots.setdefault(pid, len(slots))
+        merge_shipment(shipment, slot)
+        # When the run-context sink and the telemetry sink are the same
+        # file (the CLI's --ledger + --telemetry wiring), merge_shipment
+        # already wrote the records there; don't write them twice.
+        run = current_run()
+        if self.telemetry.jsonl_path is not None and not (
+            run is not None and run.jsonl_path == self.telemetry.jsonl_path
+        ):
+            for record in shipment.get("spans", ()):
+                self.telemetry.write_record(dict(record, worker=slot))
+        if obs_enabled():
+            counter("engine_worker_jobs_total", worker=str(slot)).inc()
+            counter("engine_worker_busy_seconds_total", worker=str(slot)).inc(
+                max(0.0, result.seconds)
+            )
+        return replace(result, obs=None)
+
     def _run_parallel(
         self,
         pool,
@@ -588,6 +634,7 @@ class Engine:
 
         fallback: list[tuple[int, Job, str | None]] = []
         queue_wait = histogram("engine_queue_wait_seconds") if obs_enabled() else None
+        slots: dict[int, int] = {}  # worker pid -> stable slot, first-seen order
         try:
             with pool:
                 futures = {}
@@ -599,7 +646,7 @@ class Engine:
                     submitted[future] = monotonic_time()
                 for future in as_completed(futures):
                     index, job, key = futures[future]
-                    result = future.result()
+                    result = self._absorb_shipment(future.result(), slots)
                     if (
                         result.status == "failed"
                         and result.error is not None

@@ -118,6 +118,13 @@ class JobResult:
     of the successful attempt plus any failed attempts before it — the
     paper's "total time" convention.  ``seeds_tried`` records the seed of
     every attempt, so tests can verify the retry derivation.
+
+    ``obs`` is the in-flight observability shipment (worker-side metric
+    deltas and span records — see :mod:`repro.obs.shipper`) attached by
+    pool workers and consumed (merged into the parent registry, then
+    stripped back to ``None``) by the engine before results reach
+    callers.  It never enters the result cache: the cache payload
+    whitelists its keys.
     """
 
     job_id: str
@@ -134,6 +141,7 @@ class JobResult:
     error: str | None = None
     counters: dict[str, Any] = field(default_factory=dict)
     tags: tuple[tuple[str, Any], ...] = ()
+    obs: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:

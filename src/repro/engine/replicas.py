@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from ..obs import span
 from ..rng import LaggedFibonacciRandom, derive_seed
 from .executor import Engine
 from .job import AlgorithmSpec, Job, JobResult
@@ -107,7 +108,8 @@ def sa_replicas(
     engine = engine if engine is not None else Engine(jobs=jobs)
     root = LaggedFibonacciRandom(seed)
     batch = _replica_jobs(root, replicas, size_factor, prefix="")
-    return _assemble(engine.run(batch, {"graph": graph}))
+    with span("replicas.sa", replicas=replicas):
+        return _assemble(engine.run(batch, {"graph": graph}))
 
 
 def sa_temperature_chain(
@@ -135,7 +137,8 @@ def sa_temperature_chain(
         batch.extend(
             _replica_jobs(root, replicas, size_factor, prefix=f"sf{size_factor}:")
         )
-    results = engine.run(batch, {"graph": graph})
+    with span("replicas.chain", cells=len(size_factors), replicas=replicas):
+        results = engine.run(batch, {"graph": graph})
     cells: list[ChainCell] = []
     offset = 0
     for size_factor in size_factors:

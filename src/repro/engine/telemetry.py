@@ -101,6 +101,22 @@ class Telemetry:
                     stream.write(event.to_json() + "\n")
         return event
 
+    def write_record(self, record: dict[str, Any]) -> None:
+        """Append a pre-built envelope record (e.g. a shipped worker span)
+        to the JSONL sink verbatim.
+
+        Records do not join the in-memory event list — they are not
+        engine events, they just share the file so ``trace export`` can
+        rebuild a whole batch timeline from one artifact.  No-op without
+        a sink.
+        """
+        if self.jsonl_path is None:
+            return
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            with open(self.jsonl_path, "a", encoding="utf-8") as stream:
+                stream.write(line + "\n")
+
     def count(self, kind: str) -> int:
         return sum(1 for e in self.events if e.kind == kind)
 

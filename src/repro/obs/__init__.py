@@ -27,6 +27,7 @@ from .accumulator import (
     best_of_k_extrapolation,
     fit_lower_tail,
 )
+from .buildinfo import process_rss_bytes, refresh_process_gauges, set_build_info
 from .clock import monotonic_time, wall_time
 from .ledger import (
     LEDGER_SCHEMA,
@@ -51,12 +52,22 @@ from .metrics import (
     histogram_quantile,
     obs_enabled,
 )
+from .profiler import SamplingProfiler, maybe_profile, profiling_enabled
+from .shipper import build_shipment, collect_shipment, merge_shipment, parse_series
+from .timeline import (
+    export_chrome_trace,
+    read_event_records,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from .trace import (
     RunContext,
     Span,
+    capture_spans,
     current_run,
     current_run_id,
     envelope,
+    ingest_span_record,
     new_run_id,
     reset_span_totals,
     run_context,
@@ -64,14 +75,18 @@ from .trace import (
     span_totals,
 )
 
-# The dashboard renders with repro.bench helpers, and repro.bench imports
-# the (instrumented) algorithm modules, which import this package — so the
-# dashboard is loaded lazily (PEP 562) to keep `import repro.obs` safe from
-# anywhere in the stack.
+# The dashboard and the live `top` monitor render with repro.bench helpers,
+# and repro.bench imports the (instrumented) algorithm modules, which import
+# this package — so both are loaded lazily (PEP 562) to keep
+# `import repro.obs` safe from anywhere in the stack.
 _DASHBOARD_EXPORTS = (
     "render_ledger",
     "render_ledger_diff",
     "render_ledger_prometheus",
+)
+_TOP_EXPORTS = (
+    "TopMonitor",
+    "run_top",
 )
 
 
@@ -80,6 +95,10 @@ def __getattr__(name: str):
         from . import dashboard
 
         return getattr(dashboard, name)
+    if name in _TOP_EXPORTS:
+        from . import top
+
+        return getattr(top, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -93,11 +112,17 @@ __all__ = [
     "P2Quantile",
     "REGISTRY",
     "RunContext",
+    "SamplingProfiler",
     "Span",
     "StreamingStats",
     "TailFit",
+    "TopMonitor",
     "best_of_k_extrapolation",
     "build_ledger",
+    "build_shipment",
+    "capture_spans",
+    "collect_shipment",
+    "export_chrome_trace",
     "fit_lower_tail",
     "counter",
     "current_run",
@@ -107,20 +132,32 @@ __all__ = [
     "gauge",
     "histogram",
     "histogram_quantile",
+    "ingest_span_record",
     "ledger_dir",
     "load_ledger",
     "load_schema",
+    "maybe_profile",
+    "merge_shipment",
     "monotonic_time",
     "new_run_id",
     "obs_enabled",
+    "parse_series",
+    "process_rss_bytes",
+    "profiling_enabled",
+    "read_event_records",
+    "refresh_process_gauges",
     "render_ledger",
     "render_ledger_diff",
     "render_ledger_prometheus",
     "reset_span_totals",
     "run_context",
+    "run_top",
+    "set_build_info",
     "span",
     "span_totals",
+    "validate_chrome_trace",
     "validate_ledger",
     "wall_time",
+    "write_chrome_trace",
     "write_ledger",
 ]

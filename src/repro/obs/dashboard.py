@@ -17,6 +17,17 @@ from ..bench.tables import render_generic_table
 
 __all__ = ["render_ledger", "render_ledger_diff", "render_ledger_prometheus"]
 
+#: Counters that record the engine degrading gracefully instead of dying.
+#: Any nonzero value deserves a visible callout in the dashboard: the run
+#: finished, but not on the path its flags asked for.
+_DEGRADATIONS = {
+    "engine_pool_unavailable_total": "process pool failed to start",
+    "engine_pool_broken_total": "pool broke mid-batch; remaining jobs ran serially",
+    "engine_shm_attach_failed_total": "shared-memory attach failed; job reran with a pickled graph",
+    "engine_serial_fallbacks_total": "batch degraded to the serial path",
+    "obs_shipment_dropped_total": "worker obs shipment truncated (span/series cap)",
+}
+
 
 def _fmt_num(value: Any) -> str:
     if isinstance(value, bool):
@@ -48,9 +59,33 @@ def _header(ledger: dict[str, Any]) -> list[str]:
     return lines
 
 
+def _degradation_rows(counters: dict[str, Any]) -> list[list[Any]]:
+    """Nonzero degradation counters, labeled series summed into the bare name."""
+    totals: dict[str, float] = {}
+    for series, value in counters.items():
+        bare = series.split("{", 1)[0]
+        if bare in _DEGRADATIONS:
+            totals[bare] = totals.get(bare, 0) + value
+    return [
+        [name, _fmt_num(totals[name]), _DEGRADATIONS[name]]
+        for name in sorted(totals)
+        if totals[name]
+    ]
+
+
 def render_ledger(ledger: dict[str, Any]) -> str:
     """One-ledger dashboard: header, spans, counters, gauges, histograms."""
     sections: list[str] = ["\n".join(_header(ledger))]
+
+    degraded = _degradation_rows(ledger.get("counters", {}))
+    if degraded:
+        sections.append(
+            render_generic_table(
+                ["event", "count", "meaning"],
+                degraded,
+                title="degradations (run finished, but not on the requested path)",
+            )
+        )
 
     spans = ledger.get("spans", {})
     if spans:
@@ -110,6 +145,20 @@ def render_ledger(ledger: dict[str, Any]) -> str:
             f"histogram {name}: count={count} sum={snap.get('sum', 0):,.4g} "
             f"mean={mean:,.4g}\n  buckets {sparkline(counts)}"
         )
+
+    profile = ledger.get("profile")
+    if profile and profile.get("stacks"):
+        top = profile["stacks"][:8]
+        lines = [
+            f"profile: {profile.get('samples', 0)} samples @ "
+            f"{profile.get('hz', 0):g}Hz over {profile.get('wall_seconds', 0.0):.2f}s"
+        ]
+        for entry in top:
+            leaf = entry["stack"].rsplit(";", 1)[-1]
+            lines.append(f"  {entry['count']:>6}  {leaf}")
+        if profile.get("truncated"):
+            lines.append(f"  ... {profile['truncated']} cooler stacks truncated")
+        sections.append("\n".join(lines))
 
     return "\n\n".join(sections)
 

@@ -92,7 +92,10 @@ def build_ledger(
     argv: list[str] | None = None,
 ) -> dict[str, Any]:
     """Summarize a finished :class:`RunContext` into a ledger dict."""
+    from .buildinfo import refresh_process_gauges
+
     registry = registry or REGISTRY
+    refresh_process_gauges(registry)
     after = registry.snapshot()
     before = run.metrics_before or {"counters": {}, "gauges": {}, "histograms": {}}
     return {

@@ -1,0 +1,179 @@
+"""Opt-in sampling profiler: collapsed stacks for flamegraphs, no deps.
+
+A background daemon thread wakes at ``hz`` (default 97 — prime, so the
+sampling period never phase-locks with second-aligned work) and walks
+the *target* thread's Python stack via ``sys._current_frames``.  Each
+observed stack increments a counter keyed by the collapsed frame tuple,
+which renders directly as the ``flamegraph.pl`` / speedscope "collapsed"
+format::
+
+    repro.cli:main;repro.bench.run:run_workload;repro.core.kl:kl_pass 412
+
+Sampling costs one dict lookup plus a frame walk per tick on the
+profiler thread only — the profiled thread is never touched, so the
+overhead stays well under a percent at the default rate.  Opt in with
+``REPRO_PROFILE=1`` (rate override: ``REPRO_PROFILE_HZ``) or the CLI's
+``--profile PATH`` flag; :func:`maybe_profile` yields ``None`` and does
+nothing otherwise.
+
+The profiler samples the thread that started it.  Pool *worker*
+processes are covered by their own ledgers/profiles when run with the
+env var set (spawned workers inherit the environment), but the common
+use is profiling the parent: queue management, cache traffic, result
+merging, serial fallbacks.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+from .clock import monotonic_time
+
+__all__ = [
+    "DEFAULT_HZ",
+    "SamplingProfiler",
+    "maybe_profile",
+    "profiling_enabled",
+]
+
+DEFAULT_HZ = 97.0
+
+
+def profiling_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` is set to something truthy."""
+    return os.environ.get("REPRO_PROFILE", "0") not in ("", "0")
+
+
+def _profile_hz() -> float:
+    try:
+        hz = float(os.environ.get("REPRO_PROFILE_HZ", DEFAULT_HZ))
+    except ValueError:
+        return DEFAULT_HZ
+    return hz if hz > 0 else DEFAULT_HZ
+
+
+def _frame_label(frame) -> str:
+    """``module:function`` for one frame, module dotted when resolvable."""
+    code = frame.f_code
+    module = frame.f_globals.get("__name__")
+    if not isinstance(module, str):
+        module = Path(code.co_filename).stem
+    return f"{module}:{code.co_name}"
+
+
+class SamplingProfiler:
+    """Samples one thread's stack at a fixed rate into collapsed counts."""
+
+    def __init__(self, hz: float | None = None) -> None:
+        self.hz = hz if hz is not None else _profile_hz()
+        self.interval = 1.0 / self.hz
+        self.counts: dict[tuple[str, ...], int] = {}
+        self.samples = 0
+        self.began: float | None = None
+        self.wall_seconds = 0.0
+        self._target: int | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling the *calling* thread."""
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._target = threading.get_ident()
+        self.began = monotonic_time()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        counts = self.counts
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self._target)
+            if frame is None:
+                continue
+            stack: list[str] = []
+            while frame is not None:
+                stack.append(_frame_label(frame))
+                frame = frame.f_back
+            stack.reverse()
+            key = tuple(stack)
+            counts[key] = counts.get(key, 0) + 1
+            self.samples += 1
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self._thread = None
+        if self.began is not None:
+            self.wall_seconds = monotonic_time() - self.began
+        return self
+
+    # -- output -------------------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """The full profile in collapsed-stack format, hottest first."""
+        lines = [
+            f"{';'.join(stack)} {count}"
+            for stack, count in sorted(
+                self.counts.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        return "\n".join(lines)
+
+    def write_collapsed(self, path: str | Path) -> str:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = self.collapsed()
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(text + ("\n" if text else ""))
+        return str(path)
+
+    def summary(self, top: int = 40) -> dict[str, Any]:
+        """Ledger-attachable digest: rate, sample count, hottest stacks."""
+        hottest = sorted(self.counts.items(), key=lambda item: (-item[1], item[0]))
+        return {
+            "hz": round(self.hz, 3),
+            "samples": self.samples,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "stacks": [
+                {"stack": ";".join(stack), "count": count}
+                for stack, count in hottest[:top]
+            ],
+            "truncated": max(0, len(hottest) - top),
+        }
+
+    def leaf_totals(self) -> dict[str, int]:
+        """Sample counts by innermost frame (self-time attribution)."""
+        totals: dict[str, int] = {}
+        for stack, count in self.counts.items():
+            if stack:
+                totals[stack[-1]] = totals.get(stack[-1], 0) + count
+        return totals
+
+
+@contextmanager
+def maybe_profile(force: bool = False, hz: float | None = None):
+    """Profile the body when opted in (``REPRO_PROFILE=1`` or ``force``).
+
+    Yields the running :class:`SamplingProfiler`, or ``None`` when
+    profiling is off — callers test the yield, nothing else changes.
+    """
+    if not (force or profiling_enabled()):
+        yield None
+        return
+    profiler = SamplingProfiler(hz=hz)
+    profiler.start()
+    try:
+        yield profiler
+    finally:
+        profiler.stop()

@@ -1,0 +1,238 @@
+"""Chrome trace-event export: one JSONL artifact → a Perfetto timeline.
+
+The engine's telemetry JSONL already interleaves two streams under the
+shared envelope — engine events (``batch_start``, ``job_queued``,
+``cache_hit``, …) and finished-span records, including the worker spans
+the shipping pipeline writes back (:mod:`repro.obs.shipper`).  This
+module turns that file into the Chrome trace-event format that
+``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* span records become ``"X"`` (complete) events — wall-clock start and
+  duration in microseconds;
+* engine events become ``"i"`` (instant) marks;
+* each pool worker gets its own process lane (``pid`` in trace-speak),
+  named via ``"M"`` metadata events, so queue-wait, shm attach, and
+  kernel phases line up visually across the fleet.
+
+Lane assignment prefers the explicit ``worker`` slot the parent stamped
+on shipped records at merge time and falls back to "parent" for
+everything else.  Records are deduplicated by span id — the same span
+can legitimately appear twice when the run-context sink and the
+telemetry sink are different files fed from one shipment.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "export_chrome_trace",
+    "read_event_records",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Envelope / structural keys that don't belong in an event's ``args``.
+_ENVELOPE_KEYS = frozenset(
+    {"ts", "run_id", "kind", "name", "seconds", "depth", "span_id",
+     "start", "pid", "parent", "worker", "t"}
+)
+
+_PARENT_LANE = 0
+
+
+def read_event_records(path: str | Path) -> list[dict[str, Any]]:
+    """Load every JSON object from a JSONL file, skipping malformed lines."""
+    records: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def _lane(record: dict[str, Any]) -> int:
+    worker = record.get("worker")
+    if worker is None:
+        return _PARENT_LANE
+    try:
+        return int(worker) + 1
+    except (TypeError, ValueError):
+        return _PARENT_LANE
+
+
+def _args(record: dict[str, Any]) -> dict[str, Any]:
+    args = {k: v for k, v in record.items() if k not in _ENVELOPE_KEYS and v is not None}
+    attrs = args.pop("attrs", None)
+    if isinstance(attrs, dict):
+        args.update(attrs)
+    return args
+
+
+def export_chrome_trace(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Build a Chrome trace-event document from envelope records.
+
+    Timestamps are microseconds relative to the earliest moment in the
+    file, which keeps the numbers small and the viewer anchored at t=0.
+    """
+    spans: dict[str, dict[str, Any]] = {}
+    anonymous: list[dict[str, Any]] = []
+    events: list[dict[str, Any]] = []
+    for record in records:
+        if record.get("kind") == "span":
+            span_id = record.get("span_id")
+            if span_id is None:
+                anonymous.append(record)
+            else:
+                # Later copies win key-by-key: the telemetry copy of a
+                # shipped span carries the worker slot the run-context
+                # copy may lack.
+                merged = spans.setdefault(str(span_id), {})
+                merged.update({k: v for k, v in record.items() if v is not None})
+        elif "kind" in record:
+            events.append(record)
+
+    all_spans = list(spans.values()) + anonymous
+    origins = [
+        s["start"] for s in all_spans if isinstance(s.get("start"), (int, float))
+    ] + [
+        e["ts"] for e in events if isinstance(e.get("ts"), (int, float))
+    ] + [
+        s["ts"] - s.get("seconds", 0.0)
+        for s in all_spans
+        if "start" not in s and isinstance(s.get("ts"), (int, float))
+    ]
+    origin = min(origins) if origins else 0.0
+
+    def micros(seconds: float) -> int:
+        return int(round((seconds - origin) * 1_000_000))
+
+    trace_events: list[dict[str, Any]] = []
+    lanes: dict[int, str] = {_PARENT_LANE: "parent"}
+    for record in sorted(
+        all_spans, key=lambda s: s.get("start", s.get("ts", 0.0))
+    ):
+        lane = _lane(record)
+        if lane not in lanes:
+            lanes[lane] = f"worker {lane - 1}"
+        start = record.get("start")
+        if not isinstance(start, (int, float)):
+            start = record.get("ts", origin) - record.get("seconds", 0.0)
+        event: dict[str, Any] = {
+            "name": record.get("name", "span"),
+            "ph": "X",
+            "ts": micros(start),
+            "dur": max(0, int(round(record.get("seconds", 0.0) * 1_000_000))),
+            "pid": lane,
+            "tid": 0,
+            "args": _args(record),
+        }
+        span_id = record.get("span_id")
+        if span_id is not None:
+            event["args"]["span_id"] = span_id
+        if record.get("parent") is not None:
+            event["args"]["parent"] = record["parent"]
+        if record.get("error") is not None:
+            event["args"]["error"] = record["error"]
+        trace_events.append(event)
+
+    for record in events:
+        lane = _lane(record)
+        if lane not in lanes:
+            lanes[lane] = f"worker {lane - 1}"
+        ts = record.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        trace_events.append(
+            {
+                "name": record.get("kind", "event"),
+                "ph": "i",
+                "ts": micros(ts),
+                "pid": lane,
+                "tid": 1,
+                "s": "p",
+                "args": _args(record),
+            }
+        )
+
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": lane,
+            "tid": 0,
+            "args": {"name": label},
+        }
+        for lane, label in sorted(lanes.items())
+    ]
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro-bisect trace export",
+            "spans": len(all_spans),
+            "events": len(events),
+        },
+    }
+
+
+def write_chrome_trace(document: dict[str, Any], path: str | Path) -> str:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=1, sort_keys=True)
+        stream.write("\n")
+    return str(path)
+
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "ts", "dur", "pid", "tid"),
+    "i": ("name", "ts", "pid"),
+    "M": ("name", "pid", "args"),
+}
+
+
+def validate_chrome_trace(document: Any) -> list[str]:
+    """Structural sanity check of a trace document (empty list = valid).
+
+    Not the full Chrome spec — exactly the subset this exporter emits,
+    so CI can fail fast when the artifact would not load in Perfetto.
+    """
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return ["trace document must be a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _REQUIRED_BY_PHASE:
+            errors.append(f"{where}: unexpected phase {phase!r}")
+            continue
+        for key in _REQUIRED_BY_PHASE[phase]:
+            if key not in event:
+                errors.append(f"{where}: phase {phase!r} missing {key!r}")
+        for key in ("ts", "dur"):
+            if key in event and (
+                not isinstance(event[key], (int, float))
+                or isinstance(event[key], bool)
+            ):
+                errors.append(f"{where}: {key!r} must be a number")
+        if "dur" in event and isinstance(event["dur"], (int, float)) and event["dur"] < 0:
+            errors.append(f"{where}: negative duration")
+    return errors

@@ -38,9 +38,11 @@ from .metrics import REGISTRY, MetricsRegistry, obs_enabled
 __all__ = [
     "RunContext",
     "Span",
+    "capture_spans",
     "current_run",
     "current_run_id",
     "envelope",
+    "ingest_span_record",
     "new_run_id",
     "reset_span_totals",
     "run_context",
@@ -49,6 +51,17 @@ __all__ = [
 ]
 
 _run_counter = itertools.count()
+_span_counter = itertools.count()
+
+
+def _new_span_id() -> str:
+    """A span id unique across processes: pid plus a per-process counter.
+
+    Worker spans ship back to the parent (:mod:`repro.obs.shipper`) and
+    land in the same timeline as parent spans, so ids from different
+    processes must never collide.
+    """
+    return f"{os.getpid():x}.{next(_span_counter):x}"
 
 
 def new_run_id() -> str:
@@ -72,17 +85,36 @@ def envelope(kind: str, run_id: str | None = None, **fields: Any) -> dict[str, A
 
 
 class Span:
-    """One finished (or in-flight) timed region."""
+    """One finished (or in-flight) timed region.
 
-    __slots__ = ("name", "attrs", "began", "seconds", "depth", "error")
+    Each span carries an id unique across processes and a link to its
+    lexical parent, so a finished-span record is a timeline node the
+    Chrome-trace exporter (:mod:`repro.obs.timeline`) can reassemble —
+    even when the records come from several pool workers interleaved in
+    one JSONL file.
+    """
 
-    def __init__(self, name: str, attrs: dict[str, Any], depth: int) -> None:
+    __slots__ = (
+        "name", "attrs", "began", "seconds", "depth", "error",
+        "span_id", "parent_id", "started_at",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attrs: dict[str, Any],
+        depth: int,
+        parent_id: str | None = None,
+    ) -> None:
         self.name = name
         self.attrs = attrs
         self.depth = depth
         self.began = monotonic_time()
         self.seconds = 0.0
         self.error: str | None = None
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.started_at = wall_time()
 
     def to_record(self, run_id: str | None) -> dict[str, Any]:
         record = envelope(
@@ -91,7 +123,12 @@ class Span:
             name=self.name,
             seconds=round(self.seconds, 6),
             depth=self.depth,
+            span_id=self.span_id,
+            start=round(self.started_at, 6),
+            pid=os.getpid(),
         )
+        if self.parent_id is not None:
+            record["parent"] = self.parent_id
         if self.attrs:
             record["attrs"] = self.attrs
         if self.error is not None:
@@ -118,15 +155,22 @@ class _SpanCollector:
         self.totals: dict[str, dict[str, float]] = {}
 
     def add(self, finished: Span) -> None:
-        entry = self.totals.get(finished.name)
+        self._bump(finished.name, finished.seconds, finished.error)
+
+    def add_record(self, record: dict[str, Any]) -> None:
+        """Aggregate a finished-span *record* (e.g. shipped from a worker)."""
+        self._bump(record["name"], record.get("seconds", 0.0), record.get("error"))
+
+    def _bump(self, name: str, seconds: float, error: str | None) -> None:
+        entry = self.totals.get(name)
         if entry is None:
             entry = {"count": 0, "seconds": 0.0, "max_seconds": 0.0, "errors": 0}
-            self.totals[finished.name] = entry
+            self.totals[name] = entry
         entry["count"] += 1
-        entry["seconds"] += finished.seconds
-        if finished.seconds > entry["max_seconds"]:
-            entry["max_seconds"] = finished.seconds
-        if finished.error is not None:
+        entry["seconds"] += seconds
+        if seconds > entry["max_seconds"]:
+            entry["max_seconds"] = seconds
+        if error is not None:
             entry["errors"] += 1
 
     def snapshot(self) -> dict[str, dict[str, float]]:
@@ -181,6 +225,7 @@ class _State(threading.local):
     def __init__(self) -> None:
         self.stack: list[Span] = []
         self.run: RunContext | None = None
+        self.capture: list[dict[str, Any]] | None = None
 
 
 _STATE = _State()
@@ -211,6 +256,31 @@ def reset_span_totals() -> None:
     _GLOBAL_COLLECTOR.reset()
 
 
+def ingest_span_record(record: dict[str, Any]) -> None:
+    """Absorb a finished-span record that was measured in another process.
+
+    The shipping pipeline calls this in the parent for every span a pool
+    worker sent back: the record joins the active run's aggregation,
+    span list, and JSONL sink (re-tagged with this run's id) exactly as
+    if the span had finished locally — which is what makes ledgers and
+    ``trace export`` fleet-wide.  Outside a run context the record lands
+    in the process-wide collector.
+    """
+    if not obs_enabled():
+        return
+    run = _STATE.run
+    if run is None:
+        _GLOBAL_COLLECTOR.add_record(record)
+        return
+    run.collector.add_record(record)
+    shipped = dict(record)
+    shipped["run_id"] = run.run_id
+    run.spans.append(shipped)
+    if run.jsonl_path is not None:
+        with open(run.jsonl_path, "a", encoding="utf-8") as stream:
+            stream.write(json.dumps(shipped, sort_keys=True, default=str) + "\n")
+
+
 @contextmanager
 def span(name: str, **attrs: Any):
     """Time a nested region.  Exception-safe: the span is closed (and its
@@ -221,7 +291,10 @@ def span(name: str, **attrs: Any):
         yield _INERT
         return
     stack = _STATE.stack
-    active = Span(name, attrs, depth=len(stack))
+    active = Span(
+        name, attrs, depth=len(stack),
+        parent_id=stack[-1].span_id if stack else None,
+    )
     stack.append(active)
     try:
         yield active
@@ -236,6 +309,26 @@ def span(name: str, **attrs: Any):
             run.record(active)
         else:
             _GLOBAL_COLLECTOR.add(active)
+        if _STATE.capture is not None:
+            _STATE.capture.append(active.to_record(current_run_id()))
+
+
+@contextmanager
+def capture_spans(into: list[dict[str, Any]]):
+    """Collect every finished span on this thread as a record in ``into``.
+
+    The worker-side half of the shipping pipeline
+    (:mod:`repro.obs.shipper`) wraps one job execution in this, then
+    ships the collected records back to the parent.  Capture composes
+    with (and is independent of) the run-context/global aggregation;
+    nesting restores the outer capture list on exit.
+    """
+    previous = _STATE.capture
+    _STATE.capture = into
+    try:
+        yield into
+    finally:
+        _STATE.capture = previous
 
 
 @contextmanager

@@ -37,6 +37,7 @@ from typing import Any
 
 from ..engine.handles import JobRunner
 from ..obs import REGISTRY, counter, histogram, obs_enabled, span
+from ..obs.buildinfo import refresh_process_gauges
 from ..obs.clock import monotonic_time
 from .state import ServiceError, ServiceState
 
@@ -164,6 +165,7 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in path.split("/") if p]
 
         if method == "GET" and path == "/metrics":
+            refresh_process_gauges()
             self._send_text(200, REGISTRY.render_prometheus(),
                             "text/plain; version=0.0.4")
             return 200

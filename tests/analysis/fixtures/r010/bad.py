@@ -1,0 +1,17 @@
+"""R010 fail direction: naming-contract violations and in-loop buckets."""
+
+from repro.obs import REGISTRY, counter, gauge, histogram, span
+
+
+def instrument(samples):
+    counter("jobsDone")  # finding: not snake_case, missing _total
+    counter("moves_count")  # finding: counter must end in _total
+    gauge("queue_depth_total")  # finding: gauge must not end in _total
+    histogram("job_latency")  # finding: histogram needs a unit suffix
+    with span("Engine.Batch"):  # finding: span must be dotted lowercase
+        pass
+    REGISTRY.counter("retries")  # finding: registry form, missing _total
+    for sample in samples:
+        histogram(
+            "job_wait_seconds", buckets=[0.1, 0.5, 1.0]  # finding: in-loop
+        ).observe(sample)

@@ -1,0 +1,18 @@
+"""R010 pass direction: contract-conforming names, buckets hoisted."""
+
+from repro.obs import REGISTRY, counter, gauge, histogram, span
+
+WAIT_BUCKETS = (0.1, 0.5, 1.0)
+
+
+def instrument(samples):
+    counter("engine_jobs_total").inc()
+    gauge("engine_pool_utilization").set(0.5)
+    gauge("repro_build_info", version="1.0.0").set(1.0)
+    with span("engine.batch"):
+        pass
+    REGISTRY.counter("engine_retries_total").inc()
+    for sample in samples:
+        # Clean: the bucket tuple is a module constant, not rebuilt here.
+        histogram("engine_queue_wait_seconds", buckets=WAIT_BUCKETS).observe(sample)
+    histogram("sa_acceptance_ratio", buckets=(0.0, 0.5, 1.0)).observe_many(samples)

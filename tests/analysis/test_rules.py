@@ -103,10 +103,37 @@ class TestR009ShmUnlink:
         assert all("unlink" in f.message for f in bad)
 
 
+class TestR010MetricNaming:
+    def test_both_directions(self, lint_fixture):
+        bad, good = split(lint_fixture("r010", rule="R010"))
+        assert good == []
+        assert len(bad) == 7
+        messages = " | ".join(f.message for f in bad)
+        assert "'jobsDone'" in messages  # not snake_case
+        assert "'moves_count'" in messages  # counter without _total
+        assert "'queue_depth_total'" in messages  # gauge with _total
+        assert "'job_latency'" in messages  # histogram without unit
+        assert "'Engine.Batch'" in messages  # span casing
+        assert "'retries'" in messages  # registry-method form
+        assert "inside a loop" in messages  # in-loop bucket literal
+
+    def test_real_tree_is_clean(self, lint_fixture):
+        from repro.analysis import analyze, default_config
+
+        config = default_config()
+        config = type(config)(
+            root=config.root, package=config.package,
+            scopes=config.scopes, allow_zones=config.allow_zones,
+            rules=("R010",),
+        )
+        findings, _rules, _project = analyze(config)
+        assert findings == []
+
+
 class TestRuleRegistry:
     def test_ids_are_unique_and_sequential(self, lint_fixture):
         ids = [cls.id for cls in ALL_RULES]
-        assert ids == [f"R00{i}" for i in range(1, 10)]
+        assert ids == [f"R0{i:02d}" for i in range(1, 11)]
 
     def test_every_rule_has_metadata(self, lint_fixture):
         for rule in default_rules():

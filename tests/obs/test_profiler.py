@@ -1,0 +1,97 @@
+"""The opt-in sampling profiler."""
+
+from __future__ import annotations
+
+from repro.obs.profiler import (
+    DEFAULT_HZ,
+    SamplingProfiler,
+    maybe_profile,
+    profiling_enabled,
+)
+
+
+def _busy_wait(profiler: SamplingProfiler, min_samples: int = 3) -> None:
+    """Spin until the profiler has observed this frame a few times."""
+    for _ in range(2_000_000):
+        if profiler.samples >= min_samples:
+            return
+    raise AssertionError("profiler collected no samples while spinning")
+
+
+class TestSampling:
+    def test_samples_the_calling_thread(self):
+        profiler = SamplingProfiler(hz=500).start()
+        try:
+            _busy_wait(profiler)
+        finally:
+            profiler.stop()
+        assert profiler.samples >= 3
+        assert profiler.wall_seconds > 0
+        # The busy-wait frame must appear in some sampled stack.
+        assert any(
+            any("_busy_wait" in frame for frame in stack)
+            for stack in profiler.counts
+        )
+
+    def test_collapsed_format(self):
+        profiler = SamplingProfiler(hz=500).start()
+        try:
+            _busy_wait(profiler)
+        finally:
+            profiler.stop()
+        lines = profiler.collapsed().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert int(count) > 0
+            assert all(":" in frame for frame in stack.split(";"))
+
+    def test_summary_shape_and_truncation(self):
+        profiler = SamplingProfiler(hz=100)
+        profiler.counts = {("a:f", "b:g"): 5, ("a:f",): 2}
+        profiler.samples = 7
+        summary = profiler.summary(top=1)
+        assert summary["samples"] == 7
+        assert summary["stacks"] == [{"stack": "a:f;b:g", "count": 5}]
+        assert summary["truncated"] == 1
+
+    def test_leaf_totals(self):
+        profiler = SamplingProfiler(hz=100)
+        profiler.counts = {("a:f", "b:g"): 5, ("c:h", "b:g"): 2, ("a:f",): 1}
+        assert profiler.leaf_totals() == {"b:g": 7, "a:f": 1}
+
+    def test_write_collapsed(self, tmp_path):
+        profiler = SamplingProfiler(hz=100)
+        profiler.counts = {("a:f",): 3}
+        out = tmp_path / "deep" / "prof.txt"
+        profiler.write_collapsed(out)
+        assert out.read_text() == "a:f 3\n"
+
+
+class TestOptIn:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert not profiling_enabled()
+        with maybe_profile() as profiler:
+            assert profiler is None
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert profiling_enabled()
+        with maybe_profile(hz=500) as profiler:
+            assert profiler is not None
+            _busy_wait(profiler, min_samples=1)
+        assert profiler.samples >= 1
+
+    def test_force_overrides_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        with maybe_profile(force=True, hz=500) as profiler:
+            assert profiler is not None
+
+    def test_hz_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "31")
+        assert SamplingProfiler().hz == 31.0
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "garbage")
+        assert SamplingProfiler().hz == DEFAULT_HZ
+        monkeypatch.setenv("REPRO_PROFILE_HZ", "-5")
+        assert SamplingProfiler().hz == DEFAULT_HZ

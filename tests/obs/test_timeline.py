@@ -1,0 +1,110 @@
+"""Chrome trace-event export from telemetry JSONL."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.timeline import (
+    export_chrome_trace,
+    read_event_records,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _span(span_id, name="kl.run", start=100.0, seconds=0.5, **extra):
+    record = {
+        "kind": "span", "name": name, "span_id": span_id,
+        "start": start, "ts": start + seconds, "seconds": seconds, "depth": 0,
+    }
+    record.update(extra)
+    return record
+
+
+class TestReadRecords:
+    def test_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"kind": "span", "name": "kl.run"}\n'
+            "not json at all\n"
+            "\n"
+            '["a", "list"]\n'
+            '{"kind": "batch_start", "ts": 1.0}\n'
+        )
+        records = read_event_records(path)
+        assert [r.get("kind") for r in records] == ["span", "batch_start"]
+
+
+class TestExport:
+    def test_spans_become_complete_events(self):
+        doc = export_chrome_trace([_span("a.1"), _span("a.2", start=101.0)])
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 2
+        # Timestamps are microseconds relative to the earliest start.
+        assert xs[0]["ts"] == 0
+        assert xs[0]["dur"] == 500_000
+        assert xs[1]["ts"] == 1_000_000
+
+    def test_worker_records_get_their_own_lane(self):
+        doc = export_chrome_trace(
+            [_span("a.1"), _span("b.1", worker=0), _span("b.2", worker=3)]
+        )
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert sorted(e["pid"] for e in xs) == [0, 1, 4]
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names[0] == "parent"
+        assert names[1] == "worker 0"
+        assert names[4] == "worker 3"
+
+    def test_duplicate_span_ids_merge(self):
+        # The run-context copy lacks the worker slot; the telemetry copy
+        # has it.  One event comes out, with the slot.
+        doc = export_chrome_trace([_span("a.1"), _span("a.1", worker=1)])
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(xs) == 1
+        assert xs[0]["pid"] == 2
+
+    def test_engine_events_become_instants(self):
+        doc = export_chrome_trace(
+            [{"kind": "batch_start", "ts": 50.0, "jobs": 4}]
+        )
+        (instant,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert instant["name"] == "batch_start"
+        assert instant["args"]["jobs"] == 4
+
+    def test_parent_links_survive_in_args(self):
+        doc = export_chrome_trace([_span("a.2", parent="a.1")])
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["args"]["parent"] == "a.1"
+        assert event["args"]["span_id"] == "a.2"
+
+
+class TestValidate:
+    def test_exported_document_is_valid(self):
+        doc = export_chrome_trace(
+            [_span("a.1"), {"kind": "cache_hit", "ts": 99.0}]
+        )
+        assert validate_chrome_trace(doc) == []
+
+    def test_rejects_structural_garbage(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": []}) != []
+        bad_event = {"traceEvents": [{"ph": "X", "name": "x", "ts": "soon",
+                                      "dur": 1, "pid": 0, "tid": 0}]}
+        assert any("must be a number" in e for e in validate_chrome_trace(bad_event))
+        negative = {"traceEvents": [{"ph": "X", "name": "x", "ts": 0,
+                                     "dur": -5, "pid": 0, "tid": 0}]}
+        assert any("negative" in e for e in validate_chrome_trace(negative))
+
+    def test_write_then_reload_round_trips(self, tmp_path):
+        doc = export_chrome_trace([_span("a.1")])
+        out = write_chrome_trace(doc, tmp_path / "trace.json")
+        with open(out, encoding="utf-8") as stream:
+            reloaded = json.load(stream)
+        assert validate_chrome_trace(reloaded) == []
+        assert reloaded["otherData"]["spans"] == 1

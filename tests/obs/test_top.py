@@ -1,0 +1,157 @@
+"""The live `top` dashboard: samplers, monitor, rendering, driver."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.obs.top import (
+    TopMonitor,
+    parse_prometheus_text,
+    render_frame,
+    run_top,
+    sample_metrics_text,
+    sample_telemetry,
+)
+
+_METRICS_TEXT = """\
+# TYPE engine_jobs_total counter
+engine_jobs_total 10
+engine_jobs_total{worker="0"} 4
+# TYPE engine_cache_hits_total counter
+engine_cache_hits_total 3
+engine_cache_misses_total 7
+engine_worker_busy_seconds_total{worker="0"} 1.5
+engine_worker_busy_seconds_total{worker="1"} 0.5
+engine_worker_jobs_total{worker="0"} 6
+engine_worker_jobs_total{worker="1"} 4
+# TYPE engine_queue_wait_seconds histogram
+engine_queue_wait_seconds_bucket{le="0.1"} 2
+engine_queue_wait_seconds_bucket{le="1"} 5
+engine_queue_wait_seconds_bucket{le="+Inf"} 6
+engine_queue_wait_seconds_sum 3.2
+engine_queue_wait_seconds_count 6
+repro_process_uptime_seconds 42.5
+repro_process_rss_bytes 3.5e+07
+"""
+
+
+class TestParsePrometheus:
+    def test_scalars_and_histograms(self):
+        parsed = parse_prometheus_text(_METRICS_TEXT)
+        assert parsed["scalars"]["engine_jobs_total"] == 10
+        assert parsed["scalars"]['engine_jobs_total{worker="0"}'] == 4
+        hist = parsed["histograms"]["engine_queue_wait_seconds"]
+        # De-cumulated back to per-bucket counts.
+        assert hist["buckets"] == [0.1, 1.0]
+        assert hist["counts"] == [2, 3, 1]
+        assert hist["count"] == 6
+        assert hist["sum"] == 3.2
+
+    def test_comments_and_garbage_skipped(self):
+        parsed = parse_prometheus_text("# HELP x y\nnot a metric line\n")
+        assert parsed == {"scalars": {}, "histograms": {}}
+
+
+class TestMetricsSample:
+    def test_fleet_fields(self):
+        sample = sample_metrics_text(_METRICS_TEXT)
+        assert sample["source"] == "metrics"
+        assert sample["jobs_total"] == 14  # bare + labeled summed
+        assert sample["cache_hits"] == 3
+        assert sample["cache_lookups"] == 10
+        assert sample["busy_by_worker"] == {"0": 1.5, "1": 0.5}
+        assert sample["jobs_by_worker"] == {"0": 6.0, "1": 4.0}
+        assert sample["uptime"] == 42.5
+        assert sample["rss_bytes"] == 3.5e7
+        assert sample["queue_wait"]["count"] == 6
+
+
+def _write_telemetry(path, *, finished=2, batch_done=False):
+    records = [{"kind": "batch_start", "ts": 1.0, "jobs": 4}]
+    records += [{"kind": "job_queued", "ts": 1.0 + i / 10} for i in range(4)]
+    records.append({"kind": "cache_hit", "ts": 1.5})
+    records += [
+        {"kind": "job_finish", "ts": 2.0 + i, "status": "ok", "seconds": 0.25}
+        for i in range(finished)
+    ]
+    records.append(
+        {"kind": "span", "name": "kl.run", "seconds": 0.2, "worker": 0, "ts": 2.0}
+    )
+    if batch_done:
+        records.append({"kind": "batch_finish", "ts": 9.0})
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+
+
+class TestTelemetrySample:
+    def test_batch_fields(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_telemetry(path, finished=2)
+        sample = sample_telemetry(path)
+        assert sample["source"] == "telemetry"
+        assert sample["batch_jobs"] == 4
+        assert sample["queued"] == 4
+        assert sample["finished"] == 2
+        assert sample["cache_hits"] == 1
+        assert sample["compute_seconds"] == 0.5
+        assert sample["busy_by_worker"] == {"0": 0.2}
+        assert not sample["batch_done"]
+
+    def test_missing_file_is_an_empty_sample(self, tmp_path):
+        sample = sample_telemetry(tmp_path / "nope.jsonl")
+        assert sample["batch_jobs"] == 0
+        assert sample["finished"] == 0
+
+
+class TestMonitorAndRender:
+    def test_rate_derives_from_progress(self, monkeypatch):
+        clock = iter([0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]).__next__
+        monkeypatch.setattr("repro.obs.top.monotonic_time", clock)
+        monitor = TopMonitor()
+        base = {"source": "telemetry", "batch_jobs": 10, "cache_hits": 0}
+        monitor.push({**base, "finished": 0})
+        state = monitor.push({**base, "finished": 3})
+        assert state["rate"] == 3.0
+        assert state["eta"] == (10 - 3) / 3.0
+
+    def test_render_telemetry_frame(self):
+        frame = render_frame(
+            {
+                "source": "telemetry", "batch_jobs": 4, "finished": 3,
+                "cache_hits": 1, "failed": 0, "rate": 2.0, "eta": 0.0,
+                "elapsed": 5.0, "compute_seconds": 1.0, "batch_done": True,
+                "busy_by_worker": {"0": 1.0, "1": 0.5},
+            }
+        )
+        assert "4/4 jobs" in frame
+        assert "(done)" in frame
+        assert "per-worker busy seconds" in frame
+        assert "worker 0" in frame and "worker 1" in frame
+
+    def test_render_metrics_frame(self):
+        sample = sample_metrics_text(_METRICS_TEXT)
+        frame = render_frame({**sample, "rate": 0.0, "elapsed": 1.0})
+        assert "cache-hit rate" in frame
+        assert "30.0%" in frame
+        assert "p50=" in frame and "p99=" in frame
+        assert "uptime" in frame and "rss 35MB" in frame
+
+
+class TestRunTop:
+    def test_requires_exactly_one_source(self, capsys):
+        assert run_top() == 2
+        assert run_top(events="x", url="http://y") == 2
+
+    def test_once_renders_single_frame(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_telemetry(path, finished=4, batch_done=True)
+        out = io.StringIO()
+        assert run_top(events=str(path), once=True, stream=out) == 0
+        assert "repro-bisect top" in out.getvalue()
+
+    def test_exits_when_batch_finishes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_telemetry(path, finished=4, batch_done=True)
+        out = io.StringIO()
+        assert run_top(events=str(path), interval=0.0, stream=out) == 0
+        assert "batch finished" in out.getvalue()

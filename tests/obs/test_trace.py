@@ -142,3 +142,79 @@ class TestDisabled:
         with span("invisible") as s:
             with pytest.raises(AttributeError):
                 s.name = "x"
+
+
+class TestSpanIdentity:
+    def test_ids_unique_and_parent_linked(self):
+        from repro.obs import capture_spans
+
+        records = []
+        with capture_spans(records):
+            with span("kl.run"):
+                with span("kl.pass"):
+                    pass
+                with span("kl.pass"):
+                    pass
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        (run_record,) = by_name["kl.run"]
+        passes = by_name["kl.pass"]
+        assert run_record.get("parent") is None
+        assert all(p["parent"] == run_record["span_id"] for p in passes)
+        ids = [r["span_id"] for r in records]
+        assert len(set(ids)) == len(ids)
+        # Ids are namespaced by pid so cross-process merges can't collide.
+        import os
+
+        assert all(i.startswith(f"{os.getpid():x}.") for i in ids)
+
+    def test_record_carries_wall_start(self):
+        from repro.obs import capture_spans
+
+        records = []
+        with capture_spans(records):
+            with span("kl.run"):
+                pass
+        (record,) = records
+        assert record["ts"] >= record["start"]
+        assert record["pid"] > 0
+
+    def test_capture_restores_previous_capture(self):
+        from repro.obs import capture_spans
+
+        outer, inner = [], []
+        with capture_spans(outer):
+            with capture_spans(inner):
+                with span("a"):
+                    pass
+            with span("b"):
+                pass
+        assert [r["name"] for r in inner] == ["a"]
+        assert [r["name"] for r in outer] == ["b"]
+
+
+class TestIngestSpanRecord:
+    def test_feeds_active_run_and_sink(self, tmp_path):
+        from repro.obs import ingest_span_record
+
+        sink = tmp_path / "run.jsonl"
+        record = {
+            "kind": "span", "name": "kl.run", "seconds": 0.5,
+            "span_id": "abc.1", "start": 1.0, "ts": 1.5, "depth": 0,
+            "run_id": "worker-side-id",
+        }
+        with run_context(workload={}, jsonl_path=sink) as run:
+            ingest_span_record(record)
+        assert run.collector.snapshot()["kl.run"]["count"] == 1
+        written = json.loads(sink.read_text().splitlines()[-1])
+        # Re-tagged with the parent run's id, not the worker's.
+        assert written["run_id"] == run.run_id
+        assert written["name"] == "kl.run"
+
+    def test_noop_when_obs_off(self, monkeypatch):
+        from repro.obs import ingest_span_record
+
+        monkeypatch.setenv("REPRO_OBS", "0")
+        ingest_span_record({"kind": "span", "name": "kl.run", "seconds": 0.1})
+        assert span_totals() == {}
