@@ -6,23 +6,38 @@ dynamically by the test suites.  This package enforces them *statically*:
 a pure-:mod:`ast` pass over ``src/repro`` with a project model
 (:mod:`~repro.analysis.project`), a rule engine with per-rule scopes and
 allow-zones (:mod:`~repro.analysis.config`,
-:mod:`~repro.analysis.rules`), and a ruleset R001-R010 encoding the
-contracts the violating code would otherwise only break at run time
-(:mod:`~repro.analysis.ruleset`).
+:mod:`~repro.analysis.rules`), and a ruleset R001-R016 encoding the
+contracts the violating code would otherwise only break at run time:
+syntactic determinism/invariant rules in :mod:`~repro.analysis.ruleset`,
+flow-sensitive concurrency and resource-lifetime rules in
+:mod:`~repro.analysis.flowrules` on top of the per-function CFG builder
+(:mod:`~repro.analysis.cfg`) and the forward dataflow engine
+(:mod:`~repro.analysis.dataflow`).
 
 Findings render as text, JSON, or SARIF 2.1.0 (:mod:`~repro.analysis.sarif`);
 accepted legacy findings live in the checked-in ``baseline.json`` with
-mandatory justifications (:mod:`~repro.analysis.baseline`).  The
+mandatory justifications (:mod:`~repro.analysis.baseline`).  Repeat runs
+hit the content-addressed incremental cache
+(:mod:`~repro.analysis.lintcache`), and the mechanical subset of the
+ruleset is auto-fixable (:mod:`~repro.analysis.fixes`).  The
 ``repro-bisect lint`` command and the CI ``lint`` job are the consumers.
 """
 
 from .baseline import Baseline, BaselineEntry, apply_baseline, update_baseline
 from .config import AnalysisConfig, default_config
+from .fixes import FIXABLE_RULES, FixPlan, plan_fixes
+from .lintcache import CacheStats, LintCache, run_cached_analysis
 from .project import ModuleInfo, ProjectModel
 from .report import render_json, render_text
 from .rules import Finding, Rule, Severity
-from .ruleset import ALL_RULES, default_rules
-from .runner import AnalysisResult, analyze, default_baseline_path, run_analysis
+from .ruleset import ALL_RULES, RULE_ALIASES, default_rules
+from .runner import (
+    AnalysisResult,
+    analyze,
+    default_baseline_path,
+    run_analysis,
+    valid_rule_ids,
+)
 from .sarif import SARIF_SCHEMA_URI, SARIF_VERSION, to_sarif
 
 __all__ = [
@@ -31,9 +46,14 @@ __all__ = [
     "AnalysisResult",
     "Baseline",
     "BaselineEntry",
+    "CacheStats",
+    "FIXABLE_RULES",
     "Finding",
+    "FixPlan",
+    "LintCache",
     "ModuleInfo",
     "ProjectModel",
+    "RULE_ALIASES",
     "Rule",
     "SARIF_SCHEMA_URI",
     "SARIF_VERSION",
@@ -43,9 +63,12 @@ __all__ = [
     "default_baseline_path",
     "default_config",
     "default_rules",
+    "plan_fixes",
     "render_json",
     "render_text",
     "run_analysis",
+    "run_cached_analysis",
     "to_sarif",
     "update_baseline",
+    "valid_rule_ids",
 ]

@@ -36,6 +36,10 @@ DEFAULT_ALLOW_ZONES: Mapping[str, tuple[str, ...]] = {
     # The observability layer owns the clock (obs/clock.py is the choke
     # point); bench code measures wall time by definition.
     "R002": ("obs/", "bench/"),
+    # The obs metric registry is process-local by design: workers ship
+    # deltas back to the coordinator (obs/shipper.py), so module-level
+    # registry state never needs to survive a fork/spawn boundary.
+    "R012": ("obs/",),
 }
 
 #: Rules that only apply to part of the tree (empty/absent = whole tree).
@@ -58,6 +62,13 @@ DEFAULT_SCOPES: Mapping[str, tuple[str, ...]] = {
     # service in front of it (a swallowed exception in a request handler
     # turns into a silent hang for the client).
     "R007": ("engine/", "service/"),
+    # Lock discipline matters where objects are shared across threads:
+    # the HTTP service, the engine coordinator, and the obs registries.
+    "R011": ("service/", "engine/", "obs/"),
+    # Seeded decision paths plus the layers that route seeds to them.
+    "R014": ("partition/", "graphs/generators/", "study/", "engine/"),
+    # Worker hot paths live in the engine and the compute kernels.
+    "R015": ("engine/", "kernels/"),
 }
 
 

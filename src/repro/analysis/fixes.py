@@ -1,0 +1,507 @@
+"""Autofix engine: mechanical rewrites for a subset of the ruleset.
+
+Three rules have fixes that are safe to apply without judgment:
+
+* **R002** — wall-clock calls with a drop-in ``repro.obs.clock``
+  replacement (``time.time()`` -> ``wall_time()``,
+  ``time.perf_counter()``/``time.monotonic()`` -> ``monotonic_time()``),
+  adding the import when missing.  Variants with different return types
+  (``*_ns``, ``datetime.*``) are left for a human.
+* **R010** — metric/span name rewrites (snake-case-ify, append a
+  counter's ``_total``, strip a gauge's).  Histogram unit suffixes are
+  not guessable, and bucket-hoisting moves code, so neither is touched.
+* **R013/R009** — wrap ``x = <acquire>(...)`` in ``with ... as x:`` when
+  the CFG-shaped safety conditions hold: single-name assign, every use
+  of ``x`` in the same statement list immediately after the assign, no
+  use anywhere later in the enclosing scope, and the re-linted module
+  proves the finding gone without introducing new ones.
+
+Every fixed module must re-parse, and every R013 fix is verified by
+re-running the rule on the rewritten source — a fix that does not
+eliminate its finding (or creates another) is discarded, never applied.
+
+The engine plans edits per module, applies them bottom-up so earlier
+edits cannot shift later offsets, and renders a unified diff for
+``--fix --dry-run`` preview (CI gates on that diff being empty).
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .config import AnalysisConfig
+from .project import ModuleInfo, ProjectModel, qualified_call_name
+from .rules import Finding
+
+__all__ = ["FIXABLE_RULES", "FixPlan", "ModuleFix", "plan_fixes"]
+
+#: Rule ids the engine can rewrite (R009 is R013's legacy shm alias).
+FIXABLE_RULES = frozenset({"R002", "R009", "R010", "R013"})
+
+_CLOCK_REWRITES = {
+    "time.time": "wall_time",
+    "time.perf_counter": "monotonic_time",
+    "time.monotonic": "monotonic_time",
+}
+_CLOCK_MODULE = "repro.obs.clock"
+
+
+@dataclass(order=True)
+class _Edit:
+    """Replace [start, end) of the source (1-based lines, 0-based cols)."""
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    text: str = field(compare=False)
+
+
+def _apply_edits(source: str, edits: list[_Edit]) -> str:
+    lines = source.splitlines(keepends=True)
+    for edit in sorted(edits, reverse=True):
+        head = lines[edit.line - 1][: edit.col]
+        tail = lines[edit.end_line - 1][edit.end_col :]
+        lines[edit.line - 1 : edit.end_line] = [head + edit.text + tail]
+    return "".join(lines)
+
+
+def _node_source(source_lines: list[str], node: ast.AST) -> str:
+    """Verbatim source of a located node (may span lines)."""
+    if node.lineno == node.end_lineno:
+        return source_lines[node.lineno - 1][node.col_offset : node.end_col_offset]
+    parts = [source_lines[node.lineno - 1][node.col_offset :]]
+    parts += source_lines[node.lineno : node.end_lineno - 1]
+    parts.append(source_lines[node.end_lineno - 1][: node.end_col_offset])
+    return "".join(parts)
+
+
+def _snakeify(name: str) -> str:
+    out = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", "_", name)
+    out = re.sub(r"[^A-Za-z0-9.]+", "_", out).lower()
+    out = re.sub(r"_+", "_", out).strip("_")
+    return out
+
+
+def _fixed_metric_name(kind: str, name: str) -> str | None:
+    """The contract-conforming rename, or ``None`` when not mechanical."""
+    if kind == "span":
+        new = ".".join(p for p in (_snakeify(part) for part in name.split(".")) if p)
+    else:
+        new = _snakeify(name.replace(".", "_"))
+        if kind == "counter" and not new.endswith("_total"):
+            new += "_total"
+        elif kind == "gauge" and new.endswith("_total"):
+            new = new[: -len("_total")]
+    if not new:
+        return None
+    from .ruleset import R010MetricNamingContract
+
+    if R010MetricNamingContract._name_problem(kind, new) is not None:
+        return None  # e.g. histogram missing a unit suffix: not guessable
+    return new
+
+
+@dataclass
+class ModuleFix:
+    """All accepted rewrites for one module."""
+
+    path: Path
+    relpath: str
+    original: str
+    fixed: str
+    findings_fixed: list[Finding]
+
+    def diff(self) -> str:
+        return "".join(
+            difflib.unified_diff(
+                self.original.splitlines(keepends=True),
+                self.fixed.splitlines(keepends=True),
+                fromfile=f"a/{self.relpath}",
+                tofile=f"b/{self.relpath}",
+            )
+        )
+
+
+@dataclass
+class FixPlan:
+    """The full set of module rewrites one ``--fix`` run would make."""
+
+    modules: list[ModuleFix]
+    skipped: list[Finding]  # fixable-rule findings the engine declined
+
+    @property
+    def fixed_count(self) -> int:
+        return sum(len(m.findings_fixed) for m in self.modules)
+
+    def diff(self) -> str:
+        return "".join(m.diff() for m in self.modules)
+
+    def apply(self) -> list[str]:
+        """Write every rewritten module; returns the relpaths touched."""
+        touched = []
+        for mod in self.modules:
+            mod.path.write_text(mod.fixed, encoding="utf-8")
+            touched.append(mod.relpath)
+        return touched
+
+
+def plan_fixes(
+    config: AnalysisConfig,
+    findings: list[Finding],
+    project: ProjectModel | None = None,
+) -> FixPlan:
+    """Plan (but do not write) fixes for every fixable finding."""
+    if project is None:
+        project = ProjectModel.scan(config.root, config.package)
+    by_module: dict[str, ModuleInfo] = {m.relpath: m for m in project}
+    fixes: list[ModuleFix] = []
+    skipped: list[Finding] = []
+    wanted = [f for f in findings if f.rule in FIXABLE_RULES]
+    by_path: dict[str, list[Finding]] = {}
+    for f in wanted:
+        by_path.setdefault(f.path, []).append(f)
+    for relpath, module_findings in sorted(by_path.items()):
+        module = by_module.get(relpath)
+        if module is None:
+            skipped.extend(module_findings)
+            continue
+        fix = _fix_module(module, module_findings, skipped)
+        if fix is not None:
+            fixes.append(fix)
+    return FixPlan(modules=fixes, skipped=skipped)
+
+
+def _fix_module(
+    module: ModuleInfo, findings: list[Finding], skipped: list[Finding]
+) -> ModuleFix | None:
+    source = module.path.read_text(encoding="utf-8")
+    lines = source.splitlines(keepends=True)
+    edits: list[_Edit] = []
+    fixed: list[Finding] = []
+    clock_imports: set[str] = set()
+    with_wraps: list[Finding] = []
+
+    for finding in sorted(findings):
+        if finding.rule == "R002":
+            edit, name = _plan_clock_fix(module, lines, finding)
+            if edit is not None:
+                edits.append(edit)
+                clock_imports.add(name)
+                fixed.append(finding)
+            else:
+                skipped.append(finding)
+        elif finding.rule == "R010":
+            edit = _plan_name_fix(module, finding)
+            if edit is not None:
+                edits.append(edit)
+                fixed.append(finding)
+            else:
+                skipped.append(finding)
+        else:  # R013 / R009
+            with_wraps.append(finding)
+
+    if clock_imports:
+        needed = {
+            n for n in clock_imports
+            if module.aliases.get(n) != f"{_CLOCK_MODULE}.{n}"
+        }
+        if any(_name_is_taken(module, n) for n in needed):
+            # A clock name is already bound to something else; rewriting
+            # would silently call the wrong thing.  Drop this module's
+            # clock fixes rather than guess.
+            for f in [f for f in fixed if f.rule == "R002"]:
+                fixed.remove(f)
+                skipped.append(f)
+            edits = [e for e in edits if not _is_clock_edit(e)]
+        elif needed:
+            edits.append(_import_edit(module, needed))
+
+    for finding in with_wraps:
+        edit = _plan_with_wrap(module, lines, finding)
+        if edit is not None:
+            edits.append(edit)
+            fixed.append(finding)
+        else:
+            skipped.append(finding)
+
+    if not edits or not fixed:
+        return None
+    new_source = _apply_edits(source, edits)
+    original_keys = {
+        (f.rule, f.context, f.message)
+        for f in findings
+        if f.rule in ("R009", "R013")
+    }
+    if not _verify(module, new_source, fixed, original_keys):
+        skipped.extend(fixed)
+        return None
+    return ModuleFix(
+        path=module.path, relpath=module.relpath,
+        original=source, fixed=new_source, findings_fixed=fixed,
+    )
+
+
+def _is_clock_edit(edit: _Edit) -> bool:
+    return edit.text in set(_CLOCK_REWRITES.values())
+
+
+def _name_is_taken(module: ModuleInfo, name: str) -> bool:
+    """``name`` is already bound in the module to something else."""
+    if name in module.aliases:
+        return module.aliases[name] != f"{_CLOCK_MODULE}.{name}"
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name == name:
+                return True
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return True
+    return False
+
+
+def _call_at(module: ModuleInfo, line: int, col: int) -> ast.Call | None:
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and node.lineno == line
+            and node.col_offset == col
+        ):
+            return node
+    return None
+
+
+# -- R002: clock rewrites ----------------------------------------------------------
+
+
+def _plan_clock_fix(
+    module: ModuleInfo, lines: list[str], finding: Finding
+) -> tuple[_Edit | None, str]:
+    call = _call_at(module, finding.line, finding.col)
+    if call is None or call.args or call.keywords:
+        return None, ""
+    origin = qualified_call_name(call.func, module.aliases)
+    replacement = _CLOCK_REWRITES.get(origin or "")
+    if replacement is None:
+        return None, ""
+    func = call.func
+    return (
+        _Edit(func.lineno, func.col_offset, func.end_lineno, func.end_col_offset,
+              replacement),
+        replacement,
+    )
+
+
+def _import_edit(module: ModuleInfo, names: set[str]) -> _Edit:
+    """Insert ``from repro.obs.clock import ...`` after the last top import."""
+    stmt = f"from {_CLOCK_MODULE} import {', '.join(sorted(names))}\n"
+    last_import = 0
+    for node in module.tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            last_import = node.end_lineno
+        elif last_import:
+            break
+    if last_import == 0 and module.tree.body:
+        first = module.tree.body[0]
+        if isinstance(first, ast.Expr) and isinstance(first.value, ast.Constant):
+            last_import = first.end_lineno  # after the module docstring
+    return _Edit(last_import + 1, 0, last_import + 1, 0, stmt)
+
+
+# -- R010: metric name rewrites ----------------------------------------------------
+
+
+def _plan_name_fix(module: ModuleInfo, finding: Finding) -> _Edit | None:
+    if "bucket sequence" in finding.message:
+        return None  # hoisting code out of a loop is not mechanical
+    call = _call_at(module, finding.line, finding.col)
+    if call is None or not call.args:
+        return None
+    from .ruleset import R010MetricNamingContract
+
+    kind = R010MetricNamingContract._factory_kind(call, module)
+    name_node = call.args[0]
+    if kind is None or not isinstance(name_node, ast.Constant):
+        return None
+    if not isinstance(name_node.value, str):
+        return None
+    new = _fixed_metric_name(kind, name_node.value)
+    if new is None:
+        return None
+    return _Edit(
+        name_node.lineno, name_node.col_offset,
+        name_node.end_lineno, name_node.end_col_offset,
+        f'"{new}"',
+    )
+
+
+# -- R013/R009: with-wrapping ------------------------------------------------------
+
+
+def _supports_with(origin: str | None) -> bool:
+    """Only wrap acquisitions whose object is a known context manager.
+
+    ``open``-family handles and sockets are; ``SharedGraphSegment`` is
+    (``__exit__`` closes and unlinks); stdlib
+    ``multiprocessing.shared_memory.SharedMemory`` is NOT — a wrap there
+    would pass the static re-check and crash at run time.
+    """
+    if origin is None:
+        return False
+    from .flowrules import _FILE_OPEN_ORIGINS
+
+    if origin in _FILE_OPEN_ORIGINS:
+        return True
+    if origin.endswith((".create_connection", "socket.socket")):
+        return True
+    return ".SharedGraphSegment." in f".{origin}."
+
+
+def _plan_with_wrap(
+    module: ModuleInfo, lines: list[str], finding: Finding
+) -> _Edit | None:
+    call = _call_at(module, finding.line, finding.col)
+    if call is None:
+        return None
+    origin = qualified_call_name(call.func, module.aliases)
+    if origin is None and isinstance(call.func, ast.Name):
+        origin = call.func.id  # builtin `open` is never imported
+    if not _supports_with(origin):
+        return None
+    located = _locate_assign(module.tree, call)
+    if located is None:
+        return None
+    scope, body, index = located
+    stmt = body[index]
+    name = stmt.targets[0].id
+
+    # Last statement in the same list that mentions the name.
+    last = index
+    for j in range(index + 1, len(body)):
+        if any(
+            isinstance(n, ast.Name) and n.id == name for n in ast.walk(body[j])
+        ):
+            last = j
+    # If any path inside the span hands the object away (return fh,
+    # sink(fh), self.x = fh), closing at the with's exit would hand over
+    # a dead handle.  Those findings are not mechanically fixable.
+    if _span_escapes(body[index + 1 : last + 1], name):
+        return None
+    # The name must be dead afterwards: no use anywhere in the enclosing
+    # scope after the wrapped span, and not global/nonlocal.
+    span_end_line = body[last].end_lineno
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.Global, ast.Nonlocal)) and name in node.names:
+            return None
+        if (
+            isinstance(node, ast.Name)
+            and node.id == name
+            and node.lineno > span_end_line
+        ):
+            return None
+
+    indent = lines[stmt.lineno - 1][: stmt.col_offset]
+    value_src = _node_source(lines, stmt.value)
+    header = f"with {value_src} as {name}:"
+    if last == index:
+        text = f"{header}\n{indent}    pass"
+        return _Edit(
+            stmt.lineno, stmt.col_offset, stmt.end_lineno, stmt.end_col_offset, text
+        )
+    # Re-indent every line of the span after the assign by one level.
+    block_lines = []
+    for lineno in range(body[index + 1].lineno, span_end_line + 1):
+        raw = lines[lineno - 1]
+        block_lines.append("    " + raw if raw.strip() else raw)
+    text = f"{header}\n" + "".join(block_lines).rstrip("\n")
+    end_col = len(lines[span_end_line - 1].rstrip("\n"))
+    return _Edit(stmt.lineno, stmt.col_offset, span_end_line, end_col, text)
+
+
+def _span_escapes(stmts: list[ast.stmt], name: str) -> bool:
+    """Does any statement (however nested) transfer ownership of ``name``?"""
+    from .dataflow import _escaping_names
+
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.stmt) and name in set(_escaping_names(node)):
+                return True
+    return False
+
+
+def _locate_assign(
+    tree: ast.Module, call: ast.Call
+) -> tuple[ast.AST, list[ast.stmt], int] | None:
+    """(enclosing scope, statement list, index) of ``x = <call>``."""
+    scopes: list[ast.AST] = [tree]
+
+    def visit(node: ast.AST) -> tuple[ast.AST, list[ast.stmt], int] | None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(node)
+        try:
+            for fname in ("body", "orelse", "finalbody"):
+                stmts = getattr(node, fname, None)
+                if not isinstance(stmts, list):
+                    continue
+                for i, stmt in enumerate(stmts):
+                    if (
+                        isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                        and isinstance(stmt.targets[0], ast.Name)
+                        and stmt.value is call
+                    ):
+                        return scopes[-1], stmts, i
+            for child in ast.iter_child_nodes(node):
+                found = visit(child)
+                if found is not None:
+                    return found
+            return None
+        finally:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.pop()
+
+    return visit(tree)
+
+
+# -- verification ------------------------------------------------------------------
+
+
+def _verify(
+    module: ModuleInfo,
+    new_source: str,
+    fixed: list[Finding],
+    original_keys: set[tuple[str, str, str]],
+) -> bool:
+    """The rewritten module parses, and R013-class fixes really fixed.
+
+    Re-lints the rewritten source with R013: every fixed finding must be
+    gone, and no finding may appear that the original module did not
+    already have (a wrap that merely moves the leak is rejected).
+    """
+    try:
+        tree = ast.parse(new_source, filename=str(module.path))
+    except SyntaxError:
+        return False
+    fixed_keys = {
+        (f.rule, f.context, f.message) for f in fixed if f.rule in ("R009", "R013")
+    }
+    if not fixed_keys:
+        return True
+    from .flowrules import R013ResourceLifetime
+
+    info = ModuleInfo(
+        name=module.name, path=module.path, relpath=module.relpath, tree=tree
+    )
+    mini = ProjectModel({module.name: info}, module.name.split(".")[0])
+    mini._index_imports(info)
+    after = {
+        (f.rule, f.context, f.message)
+        for f in R013ResourceLifetime().check(info, mini)
+    }
+    return not (after & fixed_keys) and after <= (original_keys - fixed_keys)

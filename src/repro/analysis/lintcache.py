@@ -1,0 +1,366 @@
+"""Incremental lint cache: content-addressed per-module findings.
+
+A lint run is almost embarrassingly cacheable: every rule is a pure
+function of (module source, cross-module facts, rule implementations,
+configuration).  This module makes that explicit.  Each scanned module
+gets a cache entry keyed by
+
+* the **module digest** — SHA-256 of its source bytes;
+* the **ruleset digest** — :data:`RULESET_VERSION` plus a hash of every
+  source file in this package, so editing any rule (or the CFG/dataflow
+  engine underneath) invalidates everything without manual bumps;
+* the **config digest** — package name, scopes, allow-zones, and the
+  ``--rule`` selection;
+* the **project digest** — a hash of the cross-module facts rules
+  consume (import graph, worker entry/initializer names, call-site
+  contexts), derived from per-module *summaries* that are themselves
+  cached by module digest.
+
+The summary layer is what makes warm runs fast: when every module's
+summary is cached, the project digest is computed without parsing a
+single file, and when every findings entry hits too, the whole run is
+hash-and-read.  A body-only edit re-parses and re-lints just the edited
+module (its summary is unchanged, so the project digest — and therefore
+every other module's findings key — survives).
+
+Storage is one JSON file beside the engine's result cache
+(``$REPRO_CACHE_DIR`` or ``~/.cache/repro-bisect``).  The file is
+rewritten atomically and pruned to the current tree on every save, so it
+never grows beyond one entry per module.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..engine.cache import default_cache_dir
+from ..obs.clock import monotonic_time
+from .baseline import Baseline, apply_baseline
+from .config import AnalysisConfig
+from .escape import concurrency_sites
+from .project import ModuleInfo, ProjectModel
+from .rules import Finding, scoped_nodes
+from .runner import (
+    AnalysisResult,
+    _module_findings,
+    _selected_rules,
+    default_baseline_path,
+    relevant_stale,
+)
+
+__all__ = [
+    "CacheStats",
+    "LintCache",
+    "RULESET_VERSION",
+    "default_lint_cache_path",
+    "run_cached_analysis",
+]
+
+#: Bumped on intentional rule-semantics changes that a source hash alone
+#: would not capture (e.g. a data-file format change).  Routine rule
+#: edits are caught by the package source digest.
+RULESET_VERSION = 1
+
+
+def default_lint_cache_path(root: Path | str) -> Path:
+    """``<engine cache dir>/lint/cache-<root hash>.json``.
+
+    One file per scanned root, beside the engine's result cache, so
+    fixture-tree scans in tests never evict the real tree's entries.
+    """
+    digest = _sha256(str(Path(root).resolve()).encode())[:12]
+    return default_cache_dir() / "lint" / f"cache-{digest}.json"
+
+
+def _sha256(*parts: bytes) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part)
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _ruleset_digest() -> str:
+    """Hash of every analyzer source file plus :data:`RULESET_VERSION`."""
+    pkg = Path(__file__).resolve().parent
+    parts: list[bytes] = [str(RULESET_VERSION).encode()]
+    for path in sorted(pkg.glob("*.py")):
+        parts.append(path.name.encode())
+        parts.append(path.read_bytes())
+    return _sha256(*parts)
+
+
+def _config_digest(config: AnalysisConfig) -> str:
+    payload = {
+        "package": config.package,
+        "scopes": {k: list(v) for k, v in sorted(config.scopes.items())},
+        "allow_zones": {k: list(v) for k, v in sorted(config.allow_zones.items())},
+        "rules": sorted(config.rules) if config.rules is not None else None,
+    }
+    return _sha256(json.dumps(payload, sort_keys=True).encode())
+
+
+def _module_summary(module: ModuleInfo) -> dict[str, Any]:
+    """The cross-module facts one module contributes, from its AST alone.
+
+    Everything a project-level rule reads about *other* modules must be
+    here, or a change in module A could leave module B's cached findings
+    stale: the import graph (R012 reachability), worker entry and pool
+    initializer names, spawn presence, and which function names are
+    called at module level vs. inside functions (R012's import-time-only
+    registration exemption).
+    """
+    sites = concurrency_sites(module)
+    toplevel_calls: set[str] = set()
+    inner_calls: set[str] = set()
+    for node, context, _ in scoped_nodes(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        ref = node.func
+        name = ref.id if isinstance(ref, ast.Name) else (
+            ref.attr if isinstance(ref, ast.Attribute) else None
+        )
+        if name is None:
+            continue
+        (toplevel_calls if context == "" else inner_calls).add(name)
+    return {
+        "name": module.name,
+        "imports": sorted(module.internal_imports),
+        "entries": sorted(sites.entry_names),
+        "inits": sorted(sites.initializer_names),
+        "spawns": bool(sites.spawn_calls),
+        "toplevel_calls": sorted(toplevel_calls),
+        "inner_calls": sorted(inner_calls),
+    }
+
+
+@dataclass
+class CacheStats:
+    """What one cached run did, for the CLI line and CI artifacts."""
+
+    enabled: bool
+    path: str
+    modules: int = 0
+    summary_hits: int = 0
+    findings_hits: int = 0
+    linted: int = 0  # modules that actually ran rules this time
+    parsed: bool = False  # did we have to build the ProjectModel?
+    elapsed_s: float = 0.0
+
+    @property
+    def warm(self) -> bool:
+        return self.enabled and self.modules > 0 and self.linted == 0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "path": self.path,
+            "modules": self.modules,
+            "summary_hits": self.summary_hits,
+            "findings_hits": self.findings_hits,
+            "linted": self.linted,
+            "parsed": self.parsed,
+            "warm": self.warm,
+            "elapsed_s": round(self.elapsed_s, 4),
+        }
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return f"lint cache: disabled ({self.elapsed_s:.2f}s)"
+        state = "warm" if self.warm else (
+            "cold" if self.findings_hits == 0 else "partial"
+        )
+        return (
+            f"lint cache: {state} — {self.findings_hits}/{self.modules} modules "
+            f"cached, {self.linted} linted ({self.elapsed_s:.2f}s)"
+        )
+
+
+class LintCache:
+    """One JSON file mapping relpath -> {digest, summary, findings}."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._modules: dict[str, dict[str, Any]] = {}
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+            if isinstance(data, dict) and isinstance(data.get("modules"), dict):
+                self._modules = data["modules"]
+        except (OSError, ValueError):
+            pass  # missing or corrupt cache is just a cold start
+
+    def _entry(self, relpath: str, digest: str) -> dict[str, Any] | None:
+        entry = self._modules.get(relpath)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        return entry
+
+    def summary(self, relpath: str, digest: str) -> dict[str, Any] | None:
+        entry = self._entry(relpath, digest)
+        return entry.get("summary") if entry else None
+
+    def findings(self, relpath: str, digest: str, key: str) -> list[dict] | None:
+        entry = self._entry(relpath, digest)
+        if entry is None:
+            return None
+        stored = entry.get("findings") or {}
+        return stored.get(key)
+
+    def put(
+        self,
+        relpath: str,
+        digest: str,
+        summary: dict[str, Any] | None = None,
+        key: str | None = None,
+        findings: list[dict] | None = None,
+    ) -> None:
+        entry = self._entry(relpath, digest)
+        if entry is None:
+            entry = {"digest": digest, "summary": None, "findings": {}}
+            self._modules[relpath] = entry
+        if summary is not None:
+            entry["summary"] = summary
+        if key is not None:
+            # A handful of keys per module, LRU by insertion order, so
+            # alternating --rule selections do not evict each other while
+            # the file stays bounded.
+            stored = entry.setdefault("findings", {})
+            stored.pop(key, None)
+            stored[key] = findings or []
+            while len(stored) > 4:
+                del stored[next(iter(stored))]
+
+    def save(self, keep: set[str] | None = None) -> None:
+        if keep is not None:
+            self._modules = {
+                rel: entry for rel, entry in self._modules.items() if rel in keep
+            }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps({"version": RULESET_VERSION, "modules": self._modules}),
+            encoding="utf-8",
+        )
+        os.replace(tmp, self.path)
+
+
+def run_cached_analysis(
+    config: AnalysisConfig,
+    baseline_path: Path | str | None = None,
+    cache_path: Path | str | None = None,
+    use_cache: bool = True,
+) -> tuple[AnalysisResult, CacheStats]:
+    """:func:`repro.analysis.runner.run_analysis` with the findings cache.
+
+    Returns the same :class:`AnalysisResult` the uncached pipeline would
+    (identical findings is a CI invariant), plus the cache statistics.
+    """
+    start = monotonic_time()
+    if not use_cache:
+        from .runner import run_analysis
+
+        result = run_analysis(config, baseline_path)
+        stats = CacheStats(
+            enabled=False, path="", modules=result.modules_scanned,
+            linted=result.modules_scanned, parsed=True,
+            elapsed_s=monotonic_time() - start,
+        )
+        return result, stats
+
+    path = (
+        Path(cache_path)
+        if cache_path is not None
+        else default_lint_cache_path(config.root)
+    )
+    cache = LintCache(path)
+    root = Path(config.root)
+    digests = {
+        p.relative_to(root).as_posix(): _sha256(p.read_bytes())
+        for p in sorted(root.rglob("*.py"))
+    }
+
+    # Phase 1: per-module summaries (cached by source digest alone).  Any
+    # miss forces one full parse; every summary is then refreshed from it.
+    summaries: dict[str, dict[str, Any]] = {}
+    project: ProjectModel | None = None
+    for rel, digest in digests.items():
+        cached = cache.summary(rel, digest)
+        if cached is not None:
+            summaries[rel] = cached
+    summary_hits = len(summaries)
+    if len(summaries) < len(digests):
+        project = ProjectModel.scan(root, config.package)
+        summaries = {}
+        for module in project:
+            summaries[module.relpath] = _module_summary(module)
+            cache.put(
+                module.relpath, digests[module.relpath],
+                summary=summaries[module.relpath],
+            )
+
+    env_key = _sha256(
+        _ruleset_digest().encode(),
+        _config_digest(config).encode(),
+        json.dumps(summaries, sort_keys=True).encode(),
+    )
+
+    # Phase 2: per-module findings, keyed by module digest + env.
+    findings: list[Finding] = []
+    missed: list[str] = []
+    for rel, digest in digests.items():
+        stored = cache.findings(rel, digest, env_key)
+        if stored is None:
+            missed.append(rel)
+        else:
+            findings.extend(Finding(**f) for f in stored)
+    findings_hits = len(digests) - len(missed)
+
+    if missed:
+        if project is None:
+            project = ProjectModel.scan(root, config.package)
+        rules = _selected_rules(config)
+        missing = set(missed)
+        for module in project:
+            if module.relpath not in missing:
+                continue
+            fresh = _module_findings(config, module, project, rules)
+            cache.put(
+                module.relpath, digests[module.relpath],
+                key=env_key, findings=[f.to_json() for f in fresh],
+            )
+            findings.extend(fresh)
+
+    cache.save(keep=set(digests))
+    findings.sort()
+
+    baseline = Baseline.load(
+        baseline_path if baseline_path is not None else default_baseline_path()
+    )
+    unsuppressed, suppressed, stale = apply_baseline(findings, baseline)
+    stale = relevant_stale(stale, config)
+    result = AnalysisResult(
+        findings=unsuppressed,
+        suppressed=suppressed,
+        stale=stale,
+        baseline_problems=baseline.problems(),
+        baseline=baseline,
+        rules=_selected_rules(config),
+        modules_scanned=len(digests),
+    )
+    stats = CacheStats(
+        enabled=True,
+        path=str(path),
+        modules=len(digests),
+        summary_hits=summary_hits,
+        findings_hits=findings_hits,
+        linted=len(missed),
+        parsed=project is not None,
+        elapsed_s=monotonic_time() - start,
+    )
+    return result, stats

@@ -11,10 +11,11 @@ import ast
 import re
 from typing import Iterator
 
+from .flowrules import FLOW_RULES, RULE_ALIASES
 from .project import ModuleInfo, ProjectModel, qualified_call_name, self_method_calls
 from .rules import Finding, Rule, Severity, scoped_nodes, set_valued_names
 
-__all__ = ["ALL_RULES", "default_rules"]
+__all__ = ["ALL_RULES", "RULE_ALIASES", "default_rules"]
 
 
 # Module-level functions of `random` that draw from the hidden shared
@@ -482,66 +483,9 @@ def _read_keys(func: ast.AST) -> set[str] | None:
     return keys or None
 
 
-class R009ShmUnlinkDiscipline(Rule):
-    id = "R009"
-    name = "shm-unlink-discipline"
-    severity = Severity.ERROR
-    description = (
-        "A module that creates shared-memory segments must also unlink "
-        "them (or scope them with a context manager), or /dev/shm space "
-        "leaks past process exit."
-    )
-
-    def check(self, module: ModuleInfo, project: ProjectModel) -> Iterator[Finding]:
-        tree = module.tree
-        # Pairing is module-granular on purpose: create and unlink often
-        # live in sibling functions (export in one, release in another),
-        # and the dynamic shm lifecycle tests police the runtime pairing.
-        if self._has_unlink(tree):
-            return
-        managed = {
-            id(item.context_expr)
-            for node in ast.walk(tree)
-            if isinstance(node, (ast.With, ast.AsyncWith))
-            for item in node.items
-        }
-        for node, context, _ in scoped_nodes(tree):
-            if not isinstance(node, ast.Call) or id(node) in managed:
-                continue
-            label = self._segment_creator(node, module)
-            if label is not None:
-                yield self.finding(
-                    module, node,
-                    f"`{label}` creates a shared-memory segment but the "
-                    "module never calls unlink(); release it in a finally "
-                    "block or hold it in a with statement",
-                    context,
-                )
-
-    @staticmethod
-    def _has_unlink(tree: ast.AST) -> bool:
-        return any(
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "unlink"
-            for node in ast.walk(tree)
-        )
-
-    @staticmethod
-    def _segment_creator(node: ast.Call, module: ModuleInfo) -> str | None:
-        origin = qualified_call_name(node.func, module.aliases)
-        if origin is None:
-            return None
-        if origin.endswith("SharedGraphSegment.create"):
-            return "SharedGraphSegment.create"
-        if origin.endswith("SharedMemory") and any(
-            kw.arg == "create"
-            and isinstance(kw.value, ast.Constant)
-            and kw.value.value is True
-            for kw in node.keywords
-        ):
-            return "SharedMemory(create=True)"
-        return None
+# R009 (shm-unlink-discipline) was a module-granular syntactic matcher;
+# it is now an alias for the CFG-based lifetime rule R013, which reports
+# shm findings under the R009 id (see flowrules.RULE_ALIASES).
 
 
 # R010: the observability naming contract.  Metric names are Prometheus
@@ -656,8 +600,8 @@ ALL_RULES: tuple[type[Rule], ...] = (
     R006NoFloatEqualityInGains,
     R007NoSwallowedExceptions,
     R008PayloadRoundTrip,
-    R009ShmUnlinkDiscipline,
     R010MetricNamingContract,
+    *FLOW_RULES,
 )
 
 

@@ -255,7 +255,15 @@ def _resolve_worker_graph(key: str) -> Any:
 
                 atexit.register(_close_worker_segments)
             segment = SharedGraphSegment.attach(entry.name)
-            cached = (segment, segment.graph())
+            try:
+                rebuilt = segment.graph()
+            except Exception:
+                # Rebuild failures after a successful attach must not
+                # leak the mapping: the parent retries this job serially
+                # and the worker keeps serving other jobs.
+                segment.close()
+                raise
+            cached = (segment, rebuilt)
             _WORKER_ATTACHED[entry.name] = cached
         return cached[1]
     return entry

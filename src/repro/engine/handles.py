@@ -277,7 +277,14 @@ class JobRunner:
                 cached = self._shm_graphs.get(graph.name)
                 if cached is None:
                     segment = SharedGraphSegment.attach(graph.name)
-                    cached = segment.graph()
+                    try:
+                        cached = segment.graph()
+                    except Exception:
+                        # Rebuilding can fail after the attach mapped the
+                        # segment; detach before propagating or the
+                        # mapping outlives this runner.
+                        segment.close()
+                        raise
                     self._shm_segments[graph.name] = segment
                     self._shm_graphs[graph.name] = cached
                     self.telemetry.emit(

@@ -1,0 +1,20 @@
+"""R012 fail direction: run-time mutation of module state near workers."""
+
+import threading
+
+_SEEN = {}
+
+
+def worker(job):
+    _SEEN[job] = True  # finding: fork inherits, spawn re-imports fresh
+
+
+def launch(jobs):
+    threads = []
+    for job in jobs:
+        t = threading.Thread(target=worker, args=(job,))
+        t.start()
+        threads.append(t)
+    for t in threads:
+        t.join(timeout=5.0)
+    return dict(_SEEN)

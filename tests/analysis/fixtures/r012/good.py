@@ -1,0 +1,35 @@
+"""R012 pass direction: the sanctioned per-process and import-time patterns."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_STATE = {}
+
+
+def _init_worker():
+    # Pool initializer: runs once per worker process, so _STATE is
+    # per-process state by construction.
+    global _STATE
+    _STATE = {}
+
+
+def worker(job):
+    _STATE[job] = True
+    return job
+
+
+def launch(jobs):
+    with ProcessPoolExecutor(initializer=_init_worker) as pool:
+        return list(pool.map(worker, jobs))
+
+
+REGISTRY = {}
+
+
+def register(name):
+    REGISTRY[name] = True
+
+
+# Import-time registration mutates the registry identically in fork and
+# spawn workers (both execute the module body), so it is exempt.
+register("kl")
+register("sa")

@@ -1,0 +1,29 @@
+"""R013 pass direction: with, try/finally, and ownership handoff."""
+
+import socket
+
+
+def read_config(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+def probe(host):
+    sock = socket.create_connection((host, 9000), timeout=2.0)
+    try:
+        sock.sendall(b"ping")
+        return sock.recv(4)
+    finally:
+        sock.close()
+
+
+def open_for_caller(path):
+    # Returning the handle transfers the release obligation.
+    fh = open(path)
+    return fh
+
+
+def stash(path, registry):
+    # Storing the handle hands it to the registry's owner.
+    fh = open(path)
+    registry["config"] = fh

@@ -1,0 +1,19 @@
+"""R014 pass direction: the derive_seed protocol end to end."""
+
+import time
+
+from repro.rng import derive_seed
+
+
+def reseed(base_seed, idx):
+    return derive_seed(base_seed, idx)
+
+
+def fan_out(master_seed, count):
+    return [derive_seed(master_seed, i) for i in range(count)]
+
+
+def stamp_label():
+    # Impure on its own is R002's business; R014 only cares when it
+    # contaminates a seed-derived value.
+    return "run-%d" % int(time.time())

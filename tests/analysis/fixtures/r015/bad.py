@@ -1,0 +1,32 @@
+"""R015 fail direction: blocking calls inside the worker closure."""
+
+import socket
+import threading
+import time
+
+
+def launch(queue, peer):
+    t = threading.Thread(target=worker, args=(queue,))
+    d = threading.Thread(target=drain, args=(peer,))
+    t.start()
+    d.start()
+    return t, d
+
+
+def worker(queue):
+    while True:
+        job = queue.get()
+        _handle(job)
+        time.sleep(0.05)  # finding: back-off belongs in the coordinator
+
+
+def _handle(job):
+    sock = socket.create_connection(("127.0.0.1", 9000))  # finding: no timeout
+    try:
+        sock.sendall(job)
+    finally:
+        sock.close()
+
+
+def drain(peer):
+    peer.join()  # finding: unbounded join stalls the lane

@@ -1,0 +1,36 @@
+"""R015 pass direction: timeouts in workers, back-off in the coordinator."""
+
+import socket
+import threading
+import time
+
+
+def launch(queue, peer):
+    t = threading.Thread(target=worker, args=(queue,))
+    d = threading.Thread(target=drain, args=(peer,))
+    t.start()
+    d.start()
+    return t, d
+
+
+def worker(queue):
+    while True:
+        job = queue.get(timeout=1.0)
+        _handle(job)
+
+
+def _handle(job):
+    sock = socket.create_connection(("127.0.0.1", 9000), timeout=2.0)
+    try:
+        sock.sendall(job)
+    finally:
+        sock.close()
+
+
+def drain(peer):
+    peer.join(timeout=5.0)
+
+
+def coordinator_backoff(attempt):
+    # Not in any worker closure: the coordinator may sleep.
+    time.sleep(min(0.1 * attempt, 2.0))

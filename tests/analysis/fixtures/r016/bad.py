@@ -1,0 +1,19 @@
+"""R016 fail direction: started handles dropped on the floor."""
+
+import threading
+
+
+def fire_and_forget(job):
+    t = threading.Thread(target=_run, args=(job,))  # finding: never joined
+    t.start()
+
+
+def start_then_maybe_lose(job, fast):
+    t = threading.Thread(target=_run, args=(job,))  # finding: lost when fast
+    t.start()
+    if not fast:
+        t.join(timeout=5.0)
+
+
+def _run(job):
+    return job

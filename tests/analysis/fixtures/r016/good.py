@@ -1,0 +1,31 @@
+"""R016 pass direction: joined, daemonized, or handed to an owner."""
+
+import threading
+
+
+def run_and_wait(job):
+    t = threading.Thread(target=_run, args=(job,))
+    t.start()
+    t.join(timeout=5.0)
+
+
+def background_beacon(job):
+    # Daemon threads are reaped at interpreter exit by design.
+    t = threading.Thread(target=_run, args=(job,), daemon=True)
+    t.start()
+
+
+def handoff(job, registry):
+    t = threading.Thread(target=_run, args=(job,))
+    t.start()
+    registry.append(t)
+
+
+def never_started(job):
+    # Constructed but not started: nothing is running to leak.
+    t = threading.Thread(target=_run, args=(job,))
+    return bool(t)
+
+
+def _run(job):
+    return job

@@ -1,0 +1,154 @@
+"""Tests for the incremental lint cache.
+
+The contract: :func:`run_cached_analysis` returns exactly what the
+uncached pipeline would, and repeated runs over an unchanged tree parse
+and lint nothing.  Invalidation is content-addressed — editing a module
+relints that module, changing the rule selection (or any analyzer
+source) relints everything.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import AnalysisConfig, default_config, run_cached_analysis
+from repro.analysis.lintcache import LintCache
+
+CLOCK_MODULE = """
+    import time
+
+
+    def stamp():
+        return time.time()
+"""
+
+QUIET_MODULE = """
+    def add(a, b):
+        return a + b
+"""
+
+
+@pytest.fixture
+def tree(tmp_path):
+    root = tmp_path / "fx"
+    root.mkdir()
+    (root / "mod_clock.py").write_text(textwrap.dedent(CLOCK_MODULE))
+    (root / "mod_ok.py").write_text(textwrap.dedent(QUIET_MODULE))
+    return root
+
+
+@pytest.fixture
+def run(tree, tmp_path):
+    cache_file = tmp_path / "lintcache.json"
+    missing_baseline = tmp_path / "no-baseline.json"
+
+    def _run(rules=None, use_cache=True):
+        config = AnalysisConfig(
+            root=tree, package="fx", scopes={}, allow_zones={},
+            rules=rules,
+        )
+        return run_cached_analysis(
+            config,
+            baseline_path=missing_baseline,
+            cache_path=cache_file,
+            use_cache=use_cache,
+        )
+
+    _run.cache_file = cache_file
+    return _run
+
+
+class TestColdWarm:
+    def test_cold_then_warm_is_identical_and_parse_free(self, run):
+        cold_result, cold = run()
+        warm_result, warm = run()
+        assert cold_result.findings == warm_result.findings
+        assert any(f.rule == "R002" for f in cold_result.findings)
+        assert cold.linted == 2 and cold.parsed and not cold.warm
+        assert warm.warm and warm.linted == 0 and not warm.parsed
+        assert warm.summary_hits == 2 and warm.findings_hits == 2
+
+    def test_disabled_cache_matches_the_cached_pipeline(self, run):
+        cached_result, _ = run()
+        plain_result, stats = run(use_cache=False)
+        assert plain_result.findings == cached_result.findings
+        assert not stats.enabled and not stats.warm
+
+    def test_describe_names_the_temperature(self, run):
+        _, cold = run()
+        _, warm = run()
+        assert "cold" in cold.describe()
+        assert "warm" in warm.describe()
+        assert json.dumps(warm.to_json())  # serializable for --cache-stats
+
+
+class TestInvalidation:
+    def test_editing_one_module_relints_only_that_module(self, run, tree):
+        run()
+        (tree / "mod_ok.py").write_text(
+            textwrap.dedent(QUIET_MODULE) + "\n\ndef mul(a, b):\n    return a * b\n"
+        )
+        result, stats = run()
+        # The edited module's summary is recomputed (one full parse) but
+        # its facts are unchanged, so the other module's findings key
+        # survives and only the edit is relinted.
+        assert stats.linted == 1 and stats.parsed
+        assert any(f.rule == "R002" for f in result.findings)
+
+    def test_changing_the_rule_selection_relints_everything(self, run):
+        run()
+        narrowed, stats = run(rules=("R002",))
+        assert stats.linted == 2
+        assert any(f.rule == "R002" for f in narrowed.findings)
+        _, again = run(rules=("R002",))
+        assert again.warm
+
+    def test_alternating_selections_do_not_evict_each_other(self, run):
+        run()
+        run(rules=("R002",))
+        _, full = run()
+        _, narrow = run(rules=("R002",))
+        assert full.warm and narrow.warm
+
+    def test_corrupt_cache_file_is_a_cold_start(self, run):
+        run()
+        run.cache_file.write_text("{not json")
+        result, stats = run()
+        assert stats.linted == 2 and not stats.warm
+        assert any(f.rule == "R002" for f in result.findings)
+
+
+class TestLintCacheFile:
+    def test_findings_keys_are_bounded_per_module(self, tmp_path):
+        cache = LintCache(tmp_path / "c.json")
+        for i in range(8):
+            cache.put("m.py", "digest", key=f"env{i}", findings=[])
+        cache.save()
+        stored = json.loads((tmp_path / "c.json").read_text())
+        keys = list(stored["modules"]["m.py"]["findings"])
+        assert len(keys) == 4
+        assert keys == ["env4", "env5", "env6", "env7"]  # LRU by insertion
+
+    def test_save_prunes_to_the_current_tree(self, tmp_path):
+        cache = LintCache(tmp_path / "c.json")
+        cache.put("keep.py", "d1", summary={"name": "fx.keep"})
+        cache.put("gone.py", "d2", summary={"name": "fx.gone"})
+        cache.save(keep={"keep.py"})
+        stored = json.loads((tmp_path / "c.json").read_text())
+        assert list(stored["modules"]) == ["keep.py"]
+
+
+class TestRealTree:
+    def test_warm_run_on_the_repo_is_at_least_3x_faster(self, tmp_path):
+        # The acceptance criterion: identical findings, big speedup.
+        cache_file = tmp_path / "repo-lintcache.json"
+        config = default_config()
+        cold_result, cold = run_cached_analysis(config, cache_path=cache_file)
+        warm_result, warm = run_cached_analysis(config, cache_path=cache_file)
+        assert cold_result.findings == warm_result.findings == []
+        assert len(cold_result.suppressed) == len(warm_result.suppressed)
+        assert warm.warm
+        assert cold.elapsed_s / max(warm.elapsed_s, 1e-9) >= 3.0

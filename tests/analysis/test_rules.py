@@ -132,8 +132,20 @@ class TestR010MetricNaming:
 
 class TestRuleRegistry:
     def test_ids_are_unique_and_sequential(self, lint_fixture):
+        # R009 retired into an alias of R013 (its shm findings keep the
+        # legacy id), so it has no rule class of its own.
         ids = [cls.id for cls in ALL_RULES]
-        assert ids == [f"R0{i:02d}" for i in range(1, 11)]
+        assert ids == [
+            f"R0{i:02d}" for i in range(1, 17) if i != 9
+        ]
+
+    def test_alias_map_round_trips(self, lint_fixture):
+        from repro.analysis import RULE_ALIASES, valid_rule_ids
+
+        assert RULE_ALIASES == {"R009": "R013"}
+        ids = valid_rule_ids()
+        assert "R009" in ids and "R013" in ids
+        assert ids == sorted(ids)
 
     def test_every_rule_has_metadata(self, lint_fixture):
         for rule in default_rules():

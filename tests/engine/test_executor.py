@@ -256,3 +256,40 @@ class TestResultCaching:
 
         kinds = [json.loads(line)["kind"] for line in sink.read_text().splitlines()]
         assert kinds.count("cache_hit") == 2
+
+
+class TestWorkerShmAttachFailureCleanup:
+    """Regression: the worker-side mirror of the runner's attach/rebuild
+    cleanup — a rebuild failure must close the segment and cache nothing,
+    so the worker keeps serving other jobs without a leaked mapping."""
+
+    def test_rebuild_failure_detaches_and_caches_nothing(self, monkeypatch):
+        import repro.engine.executor as executor
+        from repro.graphs.shm import ShmGraphRef
+
+        closed = []
+
+        class FakeSegment:
+            name = "psm_x"
+
+            def graph(self):
+                raise RuntimeError("corrupt header")
+
+            def close(self):
+                closed.append(True)
+
+        monkeypatch.setattr(
+            executor.SharedGraphSegment, "attach",
+            classmethod(lambda cls, name: FakeSegment()),
+        )
+        monkeypatch.setattr(executor, "_WORKER_GRAPHS", {"g": ShmGraphRef("psm_x")})
+        # A pre-existing entry keeps the atexit hook from being
+        # registered inside the test process.
+        sentinel = SimpleNamespace(close=lambda: None)
+        monkeypatch.setattr(
+            executor, "_WORKER_ATTACHED", {"seed": (sentinel, None)}
+        )
+        with pytest.raises(RuntimeError, match="corrupt header"):
+            executor._resolve_worker_graph("g")
+        assert closed == [True]
+        assert "psm_x" not in executor._WORKER_ATTACHED

@@ -176,3 +176,48 @@ class TestSharedGraphHandles:
         runner = JobRunner(workers=0)
         with pytest.raises(ShmAttachError):
             runner.submit(_job(), ShmGraphRef("psm_repro_gone"))
+
+
+class TestShmAttachFailureCleanup:
+    """Regression: a graph() rebuild failure after a successful attach
+    must detach the mapping instead of leaking it in the runner cache."""
+
+    def test_rebuild_failure_detaches_and_caches_nothing(self, monkeypatch):
+        import repro.graphs.shm as shm_mod
+        from repro.graphs.shm import ShmGraphRef
+
+        closed = []
+
+        class FakeSegment:
+            name = "psm_repro_x"
+
+            def graph(self):
+                raise RuntimeError("corrupt header")
+
+            def close(self):
+                closed.append(True)
+
+        monkeypatch.setattr(
+            shm_mod.SharedGraphSegment, "attach",
+            classmethod(lambda cls, name: FakeSegment()),
+        )
+        runner = JobRunner(workers=0)
+        with pytest.raises(RuntimeError, match="corrupt header"):
+            runner._resolve_graph(_job(), ShmGraphRef("psm_repro_x"))
+        assert closed == [True]
+        assert runner._shm_segments == {}
+        assert runner._shm_graphs == {}
+        # The runner stays usable: a later attach of the same name is
+        # retried from scratch rather than served from a poisoned cache.
+        sentinel = object()
+
+        class GoodSegment(FakeSegment):
+            def graph(self):
+                return sentinel
+
+        monkeypatch.setattr(
+            shm_mod.SharedGraphSegment, "attach",
+            classmethod(lambda cls, name: GoodSegment()),
+        )
+        assert runner._resolve_graph(_job(), ShmGraphRef("psm_repro_x")) is sentinel
+        assert "psm_repro_x" in runner._shm_segments
